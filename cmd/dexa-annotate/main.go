@@ -1,0 +1,43 @@
+// Command dexa-annotate is the parameter-annotation assistant (Figure 3,
+// step 1): it suggests ontology concepts for parameter names using schema
+// matching against the myGrid-like domain ontology.
+//
+// Usage:
+//
+//	dexa-annotate protein_sequence          # rank concepts for one name
+//	dexa-annotate -k 10 accession_number
+//	dexa-annotate -ontology                 # print the domain ontology
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dexa/internal/annotate"
+	"dexa/internal/simulation"
+)
+
+func main() {
+	k := flag.Int("k", 5, "number of suggestions per parameter name")
+	showOnt := flag.Bool("ontology", false, "print the domain ontology and exit")
+	flag.Parse()
+
+	ont := simulation.BuildOntology()
+	if *showOnt {
+		fmt.Print(ont.String())
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: dexa-annotate [-k N] <parameter-name>...")
+		os.Exit(2)
+	}
+
+	a := annotate.NewAnnotator(ont)
+	for _, name := range flag.Args() {
+		fmt.Printf("%s:\n", name)
+		for _, s := range a.Suggest(name, *k) {
+			fmt.Printf("  %-28s %.3f\n", s.Concept, s.Score)
+		}
+	}
+}

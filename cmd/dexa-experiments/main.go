@@ -1,0 +1,48 @@
+// Command dexa-experiments regenerates every table and figure of the
+// paper's evaluation over the simulation universe and prints measured
+// values next to the published ones.
+//
+// Usage:
+//
+//	dexa-experiments                # run everything
+//	dexa-experiments -exp table1    # run one experiment
+//	dexa-experiments -list          # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dexa/internal/experiment"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment ID to run (default: all)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiment.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	fmt.Fprintln(os.Stderr, "building experimental universe (252 modules, pools, workflow repository)...")
+	suite := experiment.NewSuite()
+
+	if *exp != "" {
+		res, err := suite.Run(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(experiment.Format(res))
+		return
+	}
+	for _, res := range suite.RunAll() {
+		fmt.Print(experiment.Format(res))
+		fmt.Println()
+	}
+}

@@ -1,0 +1,77 @@
+// Command dexa-explore presents module annotation cards (Figure 3, step
+// 3): signature, semantic types, generated data examples and derived
+// behaviour hints — the designer-facing view the §5 user study evaluated.
+//
+// Usage:
+//
+//	dexa-explore getRecordSummary          # card for one module
+//	dexa-explore -search record            # find modules by name/description
+//	dexa-explore -kind filtering           # list modules of one kind
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dexa/internal/explore"
+	"dexa/internal/module"
+	"dexa/internal/simulation"
+)
+
+func main() {
+	search := flag.String("search", "", "list modules matching a query")
+	kind := flag.String("kind", "", "list modules of a kind (transformation|retrieval|mapping|filtering|analysis)")
+	flag.Parse()
+
+	fmt.Fprintln(os.Stderr, "building experimental universe...")
+	u := simulation.NewUniverse()
+
+	switch {
+	case *search != "":
+		for _, m := range u.Registry.Search(*search) {
+			fmt.Printf("%-28s %-22s %s\n", m.ID, m.Kind, m.Description)
+		}
+	case *kind != "":
+		k, ok := kindByName(*kind)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
+			os.Exit(2)
+		}
+		for _, m := range u.Registry.ByKind(k) {
+			fmt.Printf("%-28s %s\n", m.ID, m.Description)
+		}
+	case flag.NArg() == 1:
+		e, ok := u.Catalog.Get(flag.Arg(0))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown module %q\n", flag.Arg(0))
+			os.Exit(1)
+		}
+		set, rep, err := u.Gen.Generate(e.Module)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(explore.Card(e.Module, set, rep))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: dexa-explore <module-id> | -search <q> | -kind <k>")
+		os.Exit(2)
+	}
+}
+
+func kindByName(s string) (module.Kind, bool) {
+	switch s {
+	case "transformation":
+		return module.KindTransformation, true
+	case "retrieval":
+		return module.KindRetrieval, true
+	case "mapping":
+		return module.KindMapping, true
+	case "filtering":
+		return module.KindFiltering, true
+	case "analysis":
+		return module.KindAnalysis, true
+	default:
+		return module.KindUnknown, false
+	}
+}

@@ -1,0 +1,86 @@
+// Command dexa-generate annotates modules of the simulation universe with
+// data examples and prints or stores them.
+//
+// Usage:
+//
+//	dexa-generate -module getUniprotRecord        # print examples for one module
+//	dexa-generate -all -o registry.json           # annotate all 252, save registry
+//	dexa-generate -module sequenceToFasta -report # include the generation report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dexa/internal/simulation"
+)
+
+func main() {
+	moduleID := flag.String("module", "", "module ID to annotate")
+	all := flag.Bool("all", false, "annotate every catalog module")
+	out := flag.String("o", "", "write the annotated registry as JSON to this file")
+	report := flag.Bool("report", false, "print the generation report")
+	flag.Parse()
+
+	if *moduleID == "" && !*all {
+		fmt.Fprintln(os.Stderr, "usage: dexa-generate -module <id> | -all [-o registry.json]")
+		os.Exit(2)
+	}
+
+	fmt.Fprintln(os.Stderr, "building experimental universe...")
+	u := simulation.NewUniverse()
+
+	ids := []string{*moduleID}
+	if *all {
+		ids = nil
+		for _, e := range u.Catalog.Entries {
+			ids = append(ids, e.Module.ID)
+		}
+	}
+
+	for _, id := range ids {
+		entry, ok := u.Catalog.Get(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown module %q\n", id)
+			os.Exit(1)
+		}
+		set, rep, err := u.Gen.Generate(entry.Module)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "generating for %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if err := u.Registry.SetExamples(id, set); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !*all {
+			fmt.Printf("module %s (%s, %s): %d data examples\n", id, entry.Module.Kind, entry.Module.Form, len(set))
+			for i, e := range set {
+				fmt.Printf("  δ%d %s\n", i+1, e)
+			}
+			if *report {
+				fmt.Printf("input coverage: %.2f   output coverage: %.2f   combined: %.2f\n",
+					rep.InputCoverage(), rep.OutputCoverage(), rep.Coverage())
+				fmt.Printf("combinations: %d total, %d failed, %d truncated\n",
+					rep.TotalCombinations, rep.FailedCombinations, rep.Truncated)
+			}
+		}
+	}
+	if *all {
+		fmt.Fprintf(os.Stderr, "annotated %d modules\n", len(ids))
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := u.Registry.Save(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "registry written to %s\n", *out)
+	}
+}

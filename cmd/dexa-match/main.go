@@ -1,0 +1,82 @@
+// Command dexa-match compares the behaviour of two modules of the
+// simulation universe using data examples, or finds ranked substitutes for
+// a module.
+//
+// Usage:
+//
+//	dexa-match -a getUniprotRecord -b getFastaSequence   # compare two modules
+//	dexa-match -substitutes getUniprotRecord             # rank substitutes
+//	dexa-match -a sequenceToFasta -b seqExport -relaxed  # relaxed mapping
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dexa/internal/match"
+	"dexa/internal/simulation"
+)
+
+func main() {
+	a := flag.String("a", "", "first module ID")
+	b := flag.String("b", "", "second module ID")
+	substitutes := flag.String("substitutes", "", "find substitutes for this module ID")
+	relaxed := flag.Bool("relaxed", false, "use relaxed (superconcept) parameter mapping")
+	flag.Parse()
+
+	fmt.Fprintln(os.Stderr, "building experimental universe...")
+	u := simulation.NewUniverse()
+	cmp := match.NewComparer(u.Ont, u.Gen)
+	if *relaxed {
+		cmp.Mode = match.ModeRelaxed
+	}
+
+	lookup := func(id string) *simulation.CatalogEntry {
+		e, ok := u.Catalog.Get(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown module %q\n", id)
+			os.Exit(1)
+		}
+		return e
+	}
+
+	switch {
+	case *substitutes != "":
+		target := lookup(*substitutes)
+		set, _, err := u.Gen.Generate(target.Module)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cands, err := cmp.FindSubstitutes(
+			match.Unavailable{Signature: target.Module, Examples: set},
+			u.Registry.Available())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("substitutes for %s (%d candidates):\n", *substitutes, len(cands))
+		for _, c := range cands {
+			fmt.Printf("  %-30s %-12s agreement %d/%d (%.2f)\n",
+				c.Module.ID, c.Result.Verdict, c.Result.Agreeing, c.Result.Compared, c.Result.Score())
+		}
+	case *a != "" && *b != "":
+		ma, mb := lookup(*a), lookup(*b)
+		res, err := cmp.Compare(ma.Module, mb.Module)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s vs %s: %s (agreement %d/%d)\n", *a, *b, res.Verdict, res.Agreeing, res.Compared)
+		for from, to := range res.Mapping.Inputs {
+			fmt.Printf("  input  %s -> %s\n", from, to)
+		}
+		for from, to := range res.Mapping.Outputs {
+			fmt.Printf("  output %s -> %s\n", from, to)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: dexa-match -a <id> -b <id> | -substitutes <id>")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,85 @@
+// Command dexa-repair builds the legacy workflow repository (the §6
+// decay scenario), repairs every broken workflow with data-example
+// matching, and prints a summary plus per-workflow details on request.
+//
+// Usage:
+//
+//	dexa-repair                 # repair the whole repository, print summary
+//	dexa-repair -workflow myexp-1600   # detail one workflow's repair
+//	dexa-repair -limit 50       # only process the first N workflows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dexa/internal/match"
+	"dexa/internal/simulation"
+	"dexa/internal/workflow"
+)
+
+func main() {
+	one := flag.String("workflow", "", "repair a single repository workflow by ID")
+	limit := flag.Int("limit", 0, "process at most this many workflows (0 = all)")
+	flag.Parse()
+
+	fmt.Fprintln(os.Stderr, "building experimental universe and legacy repository...")
+	u := simulation.NewUniverse()
+	lw := simulation.BuildLegacyWorld(u)
+
+	exact := match.NewComparer(u.Ont, nil)
+	relaxed := match.NewComparer(u.Ont, nil)
+	relaxed.Mode = match.ModeRelaxed
+	rep := &workflow.Repairer{
+		Reg: u.Registry, Exact: exact, Relaxed: relaxed,
+		Examples: lw.ExamplesSource(), Cache: true,
+	}
+
+	if *one != "" {
+		for _, wf := range lw.Workflows {
+			if wf.ID != *one {
+				continue
+			}
+			res, err := rep.Repair(wf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("workflow %s (%s): %s\n", wf.ID, wf.Name, res.Status)
+			for _, r := range res.Replacements {
+				kind := "equivalent"
+				if r.Contextual {
+					kind = "contextual overlap"
+				}
+				fmt.Printf("  step %s: %s -> %s (%s)\n", r.StepID, r.OldModuleID, r.NewModuleID, kind)
+			}
+			for step, reason := range res.Unrepairable {
+				fmt.Printf("  step %s: unrepairable: %s\n", step, reason)
+			}
+			return
+		}
+		fmt.Fprintf(os.Stderr, "no workflow %q in the repository\n", *one)
+		os.Exit(1)
+	}
+
+	counts := map[workflow.RepairStatus]int{}
+	n := 0
+	for _, wf := range lw.Workflows {
+		if *limit > 0 && n >= *limit {
+			break
+		}
+		n++
+		res, err := rep.Repair(wf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		counts[res.Status]++
+	}
+	fmt.Printf("workflows processed:    %d\n", n)
+	fmt.Printf("not broken:             %d\n", counts[workflow.NotBroken])
+	fmt.Printf("fully repaired:         %d\n", counts[workflow.FullyRepaired])
+	fmt.Printf("partially repaired:     %d\n", counts[workflow.PartiallyRepaired])
+	fmt.Printf("unrepaired:             %d\n", counts[workflow.Unrepaired])
+}

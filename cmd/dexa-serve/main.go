@@ -1,0 +1,51 @@
+// Command dexa-serve hosts the full 252-module catalog as a provider:
+// REST under /rest and SOAP at /soap. Point dexa clients (or curl) at it
+// to exercise the remote annotation path.
+//
+// Usage:
+//
+//	dexa-serve -addr 127.0.0.1:8080
+//
+//	curl http://127.0.0.1:8080/rest/modules
+//	curl http://127.0.0.1:8080/rest/modules/getUniprotRecord
+//	curl -X POST http://127.0.0.1:8080/rest/modules/transcribe/invoke \
+//	     -d '{"inputs":{"sequence":{"kind":"string","str":"ACGT"}}}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"dexa/internal/simulation"
+	"dexa/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	flag.Parse()
+
+	fmt.Fprintln(os.Stderr, "building experimental universe...")
+	u := simulation.NewUniverse()
+
+	mux := http.NewServeMux()
+	mux.Handle("/rest/", http.StripPrefix("/rest", transport.RESTHandler(u.Registry)))
+	mux.Handle("/soap", transport.SOAPHandler(u.Registry))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintf(w, "ok: %d modules available\n", len(u.Registry.Available()))
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("serving %d modules at http://%s (REST under /rest, SOAP at /soap)\n",
+		len(u.Registry.Available()), ln.Addr())
+	if err := (&http.Server{Handler: mux}).Serve(ln); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,58 @@
+// Designer session: finding, understanding and composing modules.
+//
+// An experiment designer wants to go from a DNA sequence to the KEGG
+// pathway its protein product belongs to. The session uses the module
+// registry the way Figure 3 step 3 intends: search the registry, read
+// annotation cards with data examples and behaviour hints, then let the
+// composer (the paper's §8 future-work item) suggest certified chains.
+//
+// Run with: go run ./examples/designer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dexa/internal/compose"
+	"dexa/internal/explore"
+	"dexa/internal/simulation"
+)
+
+func main() {
+	u := simulation.NewUniverse()
+
+	// 1. Search the registry by keyword.
+	fmt.Println("registry search for \"pathway\":")
+	for _, m := range u.Registry.Search("pathway") {
+		fmt.Printf("  %-24s %-22s %s\n", m.ID, m.Kind, m.Description)
+	}
+
+	// 2. Open the annotation card of a candidate to understand it.
+	entry, _ := u.Catalog.Get("uniprotToPathway")
+	set, rep, err := u.Gen.Generate(entry.Module)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n--- annotation card ---")
+	fmt.Print(explore.Card(entry.Module, set, rep))
+
+	// 3. Ask the composer for certified chains from DNA to a pathway.
+	fmt.Println("\n--- composition search: DNASequence -> KEGGPathwayID ---")
+	comp := compose.NewComposer(u.Ont, u.Pool)
+	comp.MaxDepth = 4
+	comp.MaxChains = 5
+	chains, err := comp.Suggest(simulation.CDNASequence, simulation.CKEGGPathwayID, u.Registry.Available())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ch := range chains {
+		status := "uncertified"
+		if ch.Certified {
+			status = "CERTIFIED"
+		}
+		fmt.Printf("[%s] %s\n", status, ch)
+		for _, w := range ch.Witness {
+			fmt.Printf("    %s\n", w)
+		}
+	}
+}

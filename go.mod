@@ -1,0 +1,3 @@
+module dexa
+
+go 1.22

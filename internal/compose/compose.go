@@ -1,0 +1,198 @@
+// Package compose implements the paper's second §8 future-work item:
+// using data examples to implicitly guide module composition. Given a
+// source concept (what the designer has) and a goal concept (what they
+// want), the composer searches for chains of available modules whose
+// annotations connect — and then *certifies* each candidate chain by
+// actually flowing data-example values through it, pruning chains that
+// only look compatible on paper (the signature-level false positives that
+// §6 shows are common).
+package compose
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dexa/internal/instances"
+	"dexa/internal/module"
+	"dexa/internal/ontology"
+	"dexa/internal/typesys"
+)
+
+// Chain is one module composition: data flows into the first module's
+// primary input and out of the last module's primary output.
+type Chain struct {
+	// Modules in execution order.
+	Modules []*module.Module
+	// Certified reports whether a data-example value flowed through the
+	// whole chain successfully.
+	Certified bool
+	// Witness traces a certified run: per stage, the module ID and the
+	// output value it produced (stringified, possibly truncated).
+	Witness []string
+}
+
+// String renders "a -> b -> c".
+func (c Chain) String() string {
+	ids := make([]string, len(c.Modules))
+	for i, m := range c.Modules {
+		ids[i] = m.ID
+	}
+	return strings.Join(ids, " -> ")
+}
+
+// Composer searches for and certifies module chains.
+type Composer struct {
+	Ont  *ontology.Ontology
+	Pool *instances.Pool
+	// MaxDepth bounds chain length (default 3 modules).
+	MaxDepth int
+	// MaxChains bounds the number of chains returned (default 10).
+	MaxChains int
+}
+
+// NewComposer builds a composer with default limits.
+func NewComposer(ont *ontology.Ontology, pool *instances.Pool) *Composer {
+	return &Composer{Ont: ont, Pool: pool, MaxDepth: 3, MaxChains: 10}
+}
+
+// primaryPort selects a module's data-carrying input: the first required
+// input whose concept is not a tuning parameter (heuristically, the first
+// input). Modules whose remaining required inputs cannot be defaulted
+// from the pool are skipped during search.
+func primaryInput(m *module.Module) module.Parameter { return m.Inputs[0] }
+
+func primaryOutput(m *module.Module) module.Parameter { return m.Outputs[0] }
+
+// Suggest returns chains from source to goal, certified ones first,
+// shorter first, then lexicographic. Both concepts must exist in the
+// ontology.
+func (c *Composer) Suggest(source, goal string, available []*module.Module) ([]Chain, error) {
+	if !c.Ont.Has(source) {
+		return nil, fmt.Errorf("compose: unknown source concept %q", source)
+	}
+	if !c.Ont.Has(goal) {
+		return nil, fmt.Errorf("compose: unknown goal concept %q", goal)
+	}
+	maxDepth := c.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 3
+	}
+	maxChains := c.MaxChains
+	if maxChains <= 0 {
+		maxChains = 10
+	}
+
+	// Deterministic order.
+	mods := append([]*module.Module(nil), available...)
+	sort.Slice(mods, func(i, j int) bool { return mods[i].ID < mods[j].ID })
+
+	var chains []Chain
+	var path []*module.Module
+	var dfs func(currentConcept string, depth int)
+	dfs = func(currentConcept string, depth int) {
+		if len(chains) >= maxChains*4 { // gather extra, rank, trim later
+			return
+		}
+		if depth > 0 && c.Ont.Subsumes(goal, currentConcept) {
+			chains = append(chains, Chain{Modules: append([]*module.Module(nil), path...)})
+			return
+		}
+		if depth == maxDepth {
+			return
+		}
+		for _, m := range mods {
+			if !m.Bound() || len(m.Inputs) == 0 || len(m.Outputs) == 0 {
+				continue
+			}
+			in := primaryInput(m)
+			// The module must accept what currently flows.
+			if in.Semantic == "" || !c.Ont.Subsumes(in.Semantic, currentConcept) {
+				continue
+			}
+			if containsModule(path, m) {
+				continue
+			}
+			path = append(path, m)
+			dfs(primaryOutput(m).Semantic, depth+1)
+			path = path[:len(path)-1]
+		}
+	}
+	dfs(source, 0)
+
+	// Certify each chain with a real data-example value.
+	for i := range chains {
+		c.certify(&chains[i], source)
+	}
+	sort.SliceStable(chains, func(i, j int) bool {
+		a, b := chains[i], chains[j]
+		if a.Certified != b.Certified {
+			return a.Certified
+		}
+		if len(a.Modules) != len(b.Modules) {
+			return len(a.Modules) < len(b.Modules)
+		}
+		return a.String() < b.String()
+	})
+	if len(chains) > maxChains {
+		chains = chains[:maxChains]
+	}
+	return chains, nil
+}
+
+func containsModule(path []*module.Module, m *module.Module) bool {
+	for _, p := range path {
+		if p.ID == m.ID {
+			return true
+		}
+	}
+	return false
+}
+
+// certify flows a pool realization of the source concept through the
+// chain, filling secondary required inputs from the pool, and marks the
+// chain certified when every stage terminates normally.
+func (c *Composer) certify(ch *Chain, source string) {
+	if len(ch.Modules) == 0 {
+		return
+	}
+	first := primaryInput(ch.Modules[0])
+	seed, ok := c.Pool.Realization(source, first.Struct, 0)
+	if !ok {
+		return
+	}
+	current := seed.Value
+	var witness []string
+	for _, m := range ch.Modules {
+		inputs := map[string]typesys.Value{primaryInput(m).Name: current}
+		// Secondary required inputs come from pool realizations of their
+		// own concepts.
+		for _, p := range m.Inputs[1:] {
+			if p.Optional {
+				continue
+			}
+			in, ok := c.Pool.Realization(p.Semantic, p.Struct, 0)
+			if !ok {
+				return
+			}
+			inputs[p.Name] = in.Value
+		}
+		outs, err := m.Invoke(inputs)
+		if err != nil {
+			return
+		}
+		current = outs[primaryOutput(m).Name]
+		witness = append(witness, fmt.Sprintf("%s => %s", m.ID, truncateValue(current, 60)))
+	}
+	ch.Certified = true
+	ch.Witness = witness
+}
+
+func truncateValue(v typesys.Value, n int) string {
+	s := v.String()
+	s = strings.ReplaceAll(s, "\n", "\\n")
+	if len(s) > n {
+		return s[:n] + "…"
+	}
+	return s
+}

@@ -1,0 +1,167 @@
+package compose
+
+import (
+	"strings"
+	"testing"
+
+	"dexa/internal/instances"
+	"dexa/internal/module"
+	"dexa/internal/ontology"
+	"dexa/internal/simulation"
+	"dexa/internal/typesys"
+)
+
+// small fixture: concepts A -> B -> C with modules a2b, b2c, a2c-broken.
+func smallFixture(t *testing.T) (*ontology.Ontology, *instances.Pool, []*module.Module) {
+	t.Helper()
+	ont := ontology.New("t")
+	ont.MustAddConcept("Root", "")
+	for _, c := range []string{"A", "B", "C"} {
+		ont.MustAddConcept(c, "", "Root")
+	}
+	pool := instances.NewPool(ont)
+	pool.MustAdd("A", typesys.Str("a-value"), "")
+	pool.MustAdd("B", typesys.Str("b-value"), "")
+
+	mk := func(id, in, out string, fn func(string) (string, error)) *module.Module {
+		m := &module.Module{
+			ID: id, Name: id,
+			Inputs:  []module.Parameter{{Name: "in", Struct: typesys.StringType, Semantic: in}},
+			Outputs: []module.Parameter{{Name: "out", Struct: typesys.StringType, Semantic: out}},
+		}
+		m.Bind(module.ExecFunc(func(vals map[string]typesys.Value) (map[string]typesys.Value, error) {
+			s, err := fn(string(vals["in"].(typesys.StringValue)))
+			if err != nil {
+				return nil, err
+			}
+			return map[string]typesys.Value{"out": typesys.Str(s)}, nil
+		}))
+		return m
+	}
+	ok := func(s string) (string, error) { return s + "+", nil }
+	bad := func(string) (string, error) { return "", module.ErrRejectedInput }
+	mods := []*module.Module{
+		mk("a2b", "A", "B", ok),
+		mk("b2c", "B", "C", ok),
+		mk("a2c-broken", "A", "C", bad), // signature-compatible but always fails
+	}
+	return ont, pool, mods
+}
+
+func TestSuggestFindsAndCertifies(t *testing.T) {
+	ont, pool, mods := smallFixture(t)
+	c := NewComposer(ont, pool)
+	chains, err := c.Suggest("A", "C", mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) < 2 {
+		t.Fatalf("chains = %v", chains)
+	}
+	// The certified two-step chain must outrank the broken one-step chain.
+	if !chains[0].Certified || chains[0].String() != "a2b -> b2c" {
+		t.Errorf("top chain = %v (certified %v)", chains[0], chains[0].Certified)
+	}
+	var broken *Chain
+	for i := range chains {
+		if chains[i].String() == "a2c-broken" {
+			broken = &chains[i]
+		}
+	}
+	if broken == nil {
+		t.Fatal("broken chain should still be suggested (uncertified)")
+	}
+	if broken.Certified {
+		t.Error("broken chain must not certify")
+	}
+	if len(chains[0].Witness) != 2 || !strings.Contains(chains[0].Witness[1], "b2c =>") {
+		t.Errorf("witness = %v", chains[0].Witness)
+	}
+}
+
+func TestSuggestErrors(t *testing.T) {
+	ont, pool, mods := smallFixture(t)
+	c := NewComposer(ont, pool)
+	if _, err := c.Suggest("Nope", "C", mods); err == nil {
+		t.Error("unknown source should fail")
+	}
+	if _, err := c.Suggest("A", "Nope", mods); err == nil {
+		t.Error("unknown goal should fail")
+	}
+}
+
+func TestSuggestRespectsLimits(t *testing.T) {
+	ont, pool, mods := smallFixture(t)
+	c := NewComposer(ont, pool)
+	c.MaxDepth = 1
+	chains, err := c.Suggest("A", "C", mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range chains {
+		if len(ch.Modules) > 1 {
+			t.Errorf("depth limit violated: %v", ch)
+		}
+	}
+	c.MaxDepth = 3
+	c.MaxChains = 1
+	chains, err = c.Suggest("A", "C", mods)
+	if err != nil || len(chains) != 1 {
+		t.Errorf("MaxChains violated: %v, %v", chains, err)
+	}
+}
+
+func TestSuggestGoalSubsumption(t *testing.T) {
+	// A goal concept that subsumes the produced concept is reachable.
+	ont, pool, mods := smallFixture(t)
+	ont.MustAddConcept("SuperC", "", "Root")
+	if err := ont.AddSubsumption("C", "SuperC"); err != nil {
+		t.Fatal(err)
+	}
+	c := NewComposer(ont, pool)
+	chains, err := c.Suggest("A", "SuperC", mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) == 0 || !chains[0].Certified {
+		t.Errorf("chains = %v", chains)
+	}
+}
+
+// TestComposeOverUniverse exercises the composer on the full catalog:
+// from a DNA sequence to a KEGG pathway identifier — a realistic design
+// question (transcribe/translate/search, then map).
+func TestComposeOverUniverse(t *testing.T) {
+	u := simulation.NewUniverse()
+	c := NewComposer(u.Ont, u.Pool)
+	// DNA -> protein -> peptide masses -> accession -> pathway is 4 hops.
+	c.MaxDepth = 4
+	chains, err := c.Suggest(simulation.CDNASequence, simulation.CKEGGPathwayID, u.Registry.Available())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) == 0 {
+		t.Fatal("no chains found over the universe")
+	}
+	if !chains[0].Certified {
+		t.Errorf("top chain not certified: %v", chains[0])
+	}
+	// Every certified chain must end in a pathway-producing module.
+	for _, ch := range chains {
+		if !ch.Certified {
+			continue
+		}
+		last := ch.Modules[len(ch.Modules)-1]
+		if !u.Ont.Subsumes(simulation.CKEGGPathwayID, last.Outputs[0].Semantic) {
+			t.Errorf("chain %v does not end at the goal", ch)
+		}
+	}
+}
+
+func TestChainString(t *testing.T) {
+	_, _, mods := smallFixture(t)
+	ch := Chain{Modules: mods[:2]}
+	if ch.String() != "a2b -> b2c" {
+		t.Errorf("String = %q", ch.String())
+	}
+}

@@ -1,0 +1,414 @@
+// Package core implements the paper's primary contribution (§3): a
+// heuristic that automatically generates data examples characterising the
+// behaviour of a black-box scientific module, using only the semantic
+// annotations of its parameters and a pool of annotated instances — no
+// module specification or source code.
+//
+// The four-phase procedure of §3.2:
+//
+//  1. Partition the domain of each input parameter into the sub-domains
+//     subsumed by its semantic annotation (ontology-based equivalence
+//     partitioning, §3.1).
+//  2. Select, for each partition, a realization from the pool of annotated
+//     instances whose structural grounding matches the parameter.
+//  3. Invoke the module on every combination of the selected values,
+//     keeping only combinations that terminate normally.
+//  4. Construct data examples from the surviving input/output pairs.
+//
+// The package also performs the §3.3 output-partition analysis: produced
+// output values are classified into the partitions of the output
+// parameters' annotations, so coverage can be reported for both sides.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dexa/internal/dataexample"
+	"dexa/internal/instances"
+	"dexa/internal/module"
+	"dexa/internal/ontology"
+	"dexa/internal/typesys"
+)
+
+// PartitionStrategy selects how a parameter's semantic domain is divided.
+type PartitionStrategy int
+
+const (
+	// StrategyRealization is the paper's method: one partition per
+	// non-abstract concept subsumed by the annotation, each covered by a
+	// realization of that exact concept.
+	StrategyRealization PartitionStrategy = iota
+	// StrategyLeafOnly partitions only into leaf concepts. It is the
+	// ablation baseline: cheaper, but blind to behaviour that triggers on
+	// inner-concept realizations.
+	StrategyLeafOnly
+)
+
+// String returns the strategy name.
+func (s PartitionStrategy) String() string {
+	switch s {
+	case StrategyRealization:
+		return "realization"
+	case StrategyLeafOnly:
+		return "leaf-only"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// DefaultMaxCombinations bounds the input-combination cartesian product; a
+// module with many richly-partitioned inputs would otherwise explode.
+const DefaultMaxCombinations = 4096
+
+// Generator generates data examples for modules. The zero value is not
+// usable; create one with NewGenerator. A Generator is safe for concurrent
+// use by multiple goroutines.
+type Generator struct {
+	ont  *ontology.Ontology
+	pool *instances.Pool
+
+	// Strategy selects the partitioning method (default StrategyRealization).
+	Strategy PartitionStrategy
+	// ValuesPerPartition is how many distinct pool instances are drawn per
+	// partition (default 1; larger values probe for under-partitioning at
+	// the cost of more invocations).
+	ValuesPerPartition int
+	// MaxCombinations caps the number of input combinations invoked
+	// (default DefaultMaxCombinations). Excess combinations are dropped
+	// deterministically from the end and reported as truncated.
+	MaxCombinations int
+	// IncludeOptionalOmitted adds, for every optional input, an extra
+	// choice where the parameter is omitted (its default applies). This
+	// exposes default-value behaviour as its own pseudo-partition.
+	IncludeOptionalOmitted bool
+	// SelectionOffset shifts which pool realization is drawn per partition
+	// (default 0). Two generators with equal offsets select identical
+	// values — the alignment property §6's comparison relies on; the
+	// trace-similarity ablation uses distinct offsets to model unaligned
+	// provenance.
+	SelectionOffset int
+}
+
+// NewGenerator creates a Generator over the given ontology and instance
+// pool with the paper's default settings.
+func NewGenerator(ont *ontology.Ontology, pool *instances.Pool) *Generator {
+	return &Generator{
+		ont:                ont,
+		pool:               pool,
+		Strategy:           StrategyRealization,
+		ValuesPerPartition: 1,
+		MaxCombinations:    DefaultMaxCombinations,
+	}
+}
+
+// OmittedPartition is the pseudo-partition label recorded for optional
+// inputs that were deliberately omitted.
+const OmittedPartition = "(omitted)"
+
+// choice is one candidate value for one input parameter.
+type choice struct {
+	partition string // concept ID, or OmittedPartition
+	value     typesys.Value
+}
+
+// Generate runs the heuristic on module m and returns the generated data
+// examples together with a generation report. The module must validate and
+// have a semantic annotation on every parameter.
+func (g *Generator) Generate(m *module.Module) (dataexample.Set, *Report, error) {
+	if err := m.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("core: %w", err)
+	}
+	if !m.Bound() {
+		return nil, nil, fmt.Errorf("core: module %s has no executor bound", m.ID)
+	}
+	rep := newReport(m)
+
+	// Phase 1+2: partition every input domain and select values.
+	perParam := make([][]choice, len(m.Inputs))
+	for i, p := range m.Inputs {
+		parts, err := g.partitions(m.ID, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.InputPartitions[p.Name] = parts
+		var cs []choice
+		for _, part := range parts {
+			found := 0
+			for k := 0; k < g.valuesPerPartition(); k++ {
+				in, ok := g.pool.Realization(part, p.Struct, g.SelectionOffset+k)
+				if !ok {
+					break
+				}
+				cs = append(cs, choice{partition: part, value: in.Value})
+				found++
+			}
+			if found == 0 {
+				rep.MissingInstances = append(rep.MissingInstances, PartitionRef{Param: p.Name, Concept: part})
+			}
+		}
+		if p.Optional && g.IncludeOptionalOmitted {
+			cs = append(cs, choice{partition: OmittedPartition, value: typesys.Null})
+		}
+		if len(cs) == 0 {
+			return nil, rep, fmt.Errorf("core: module %s: no pool instance covers any partition of input %q (concept %s)", m.ID, p.Name, p.Semantic)
+		}
+		perParam[i] = cs
+	}
+
+	// Phase 1 for outputs (identification only; coverage measured later).
+	for _, p := range m.Outputs {
+		parts, err := g.partitions(m.ID, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.OutputPartitions[p.Name] = parts
+	}
+
+	// Phase 3: invoke on every combination, keeping normal terminations.
+	combos := cartesianCount(perParam)
+	rep.TotalCombinations = combos
+	limit := g.maxCombinations()
+	if combos > limit {
+		rep.Truncated = combos - limit
+		combos = limit
+	}
+	var set dataexample.Set
+	idx := make([]int, len(perParam))
+	for n := 0; n < combos; n++ {
+		inputs := make(map[string]typesys.Value, len(m.Inputs))
+		partsOf := make(map[string]string, len(m.Inputs))
+		for i, p := range m.Inputs {
+			c := perParam[i][idx[i]]
+			partsOf[p.Name] = c.partition
+			if c.partition != OmittedPartition {
+				inputs[p.Name] = c.value
+			}
+		}
+		outs, err := m.Invoke(inputs)
+		if err != nil {
+			if module.IsExecutionError(err) {
+				rep.FailedCombinations++
+				advance(idx, perParam)
+				continue
+			}
+			return nil, rep, fmt.Errorf("core: module %s: %w", m.ID, err)
+		}
+		ex := dataexample.Example{
+			Inputs:           inputs,
+			Outputs:          outs,
+			InputPartitions:  partsOf,
+			OutputPartitions: g.classifyOutputs(m, outs),
+		}
+		set = append(set, ex)
+		advance(idx, perParam)
+	}
+
+	// Phase 4 bookkeeping: coverage of input and output partitions.
+	rep.finish(set)
+	return set, rep, nil
+}
+
+// classifyOutputs maps each produced output value to the most specific
+// partition of the output parameter's annotation, when determinable.
+func (g *Generator) classifyOutputs(m *module.Module, outs map[string]typesys.Value) map[string]string {
+	res := make(map[string]string, len(outs))
+	for _, p := range m.Outputs {
+		v, ok := outs[p.Name]
+		if !ok || p.Semantic == "" {
+			continue
+		}
+		hits := g.pool.Classify(p.Semantic, v)
+		if len(hits) > 0 {
+			res[p.Name] = hits[0]
+		}
+	}
+	return res
+}
+
+func (g *Generator) partitions(moduleID string, p module.Parameter) ([]string, error) {
+	if p.Semantic == "" {
+		return nil, fmt.Errorf("core: module %s: parameter %q has no semantic annotation", moduleID, p.Name)
+	}
+	switch g.Strategy {
+	case StrategyLeafOnly:
+		parts, err := g.ont.LeafPartitions(p.Semantic)
+		if err != nil {
+			return nil, fmt.Errorf("core: module %s: parameter %q: %w", moduleID, p.Name, err)
+		}
+		return parts, nil
+	default:
+		parts, err := g.ont.Partitions(p.Semantic)
+		if err != nil {
+			return nil, fmt.Errorf("core: module %s: parameter %q: %w", moduleID, p.Name, err)
+		}
+		return parts, nil
+	}
+}
+
+func (g *Generator) valuesPerPartition() int {
+	if g.ValuesPerPartition <= 0 {
+		return 1
+	}
+	return g.ValuesPerPartition
+}
+
+func (g *Generator) maxCombinations() int {
+	if g.MaxCombinations <= 0 {
+		return DefaultMaxCombinations
+	}
+	return g.MaxCombinations
+}
+
+func cartesianCount(perParam [][]choice) int {
+	n := 1
+	for _, cs := range perParam {
+		n *= len(cs)
+		if n > 1<<30 {
+			return 1 << 30
+		}
+	}
+	return n
+}
+
+// advance increments the mixed-radix counter idx over perParam, last
+// parameter fastest.
+func advance(idx []int, perParam [][]choice) {
+	for i := len(idx) - 1; i >= 0; i-- {
+		idx[i]++
+		if idx[i] < len(perParam[i]) {
+			return
+		}
+		idx[i] = 0
+	}
+}
+
+// PartitionRef names one partition of one parameter.
+type PartitionRef struct {
+	Param   string
+	Concept string
+}
+
+// String renders "param/Concept".
+func (r PartitionRef) String() string { return r.Param + "/" + r.Concept }
+
+// Report describes one generation run: the partitions identified for every
+// parameter, which of them the examples cover, and invocation statistics.
+type Report struct {
+	ModuleID   string
+	ModuleName string
+
+	// InputPartitions / OutputPartitions: parameter name -> partitions
+	// identified by phase 1, sorted.
+	InputPartitions  map[string][]string
+	OutputPartitions map[string][]string
+
+	// CoveredInput / CoveredOutput: parameter name -> partitions covered by
+	// the generated examples, sorted.
+	CoveredInput  map[string][]string
+	CoveredOutput map[string][]string
+
+	// MissingInstances lists input partitions for which the pool held no
+	// structurally compatible realization.
+	MissingInstances []PartitionRef
+
+	// TotalCombinations is the size of the input cartesian product;
+	// FailedCombinations counts abnormal terminations; Truncated counts
+	// combinations dropped by MaxCombinations.
+	TotalCombinations  int
+	FailedCombinations int
+	Truncated          int
+
+	// Examples is the number of data examples constructed.
+	Examples int
+}
+
+func newReport(m *module.Module) *Report {
+	return &Report{
+		ModuleID:         m.ID,
+		ModuleName:       m.Name,
+		InputPartitions:  map[string][]string{},
+		OutputPartitions: map[string][]string{},
+		CoveredInput:     map[string][]string{},
+		CoveredOutput:    map[string][]string{},
+	}
+}
+
+func (r *Report) finish(set dataexample.Set) {
+	r.Examples = len(set)
+	for param := range r.InputPartitions {
+		covered := map[string]bool{}
+		for _, e := range set {
+			if c := e.InputPartitions[param]; c != "" && c != OmittedPartition {
+				covered[c] = true
+			}
+		}
+		r.CoveredInput[param] = sortedKeys(covered)
+	}
+	for param := range r.OutputPartitions {
+		covered := map[string]bool{}
+		for _, e := range set {
+			if c := e.OutputPartitions[param]; c != "" {
+				covered[c] = true
+			}
+		}
+		r.CoveredOutput[param] = sortedKeys(covered)
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InputCoverage returns the fraction of identified input partitions that
+// the examples cover (1 when no partitions were identified).
+func (r *Report) InputCoverage() float64 {
+	return coverageOf(r.InputPartitions, r.CoveredInput)
+}
+
+// OutputCoverage returns the fraction of identified output partitions that
+// the examples cover.
+func (r *Report) OutputCoverage() float64 {
+	return coverageOf(r.OutputPartitions, r.CoveredOutput)
+}
+
+// Coverage is the paper's §4.2 metric: covered partitions over all
+// partitions of both input and output parameters.
+func (r *Report) Coverage() float64 {
+	tot, cov := 0, 0
+	tot += countAll(r.InputPartitions)
+	tot += countAll(r.OutputPartitions)
+	cov += countAll(r.CoveredInput)
+	cov += countAll(r.CoveredOutput)
+	if tot == 0 {
+		return 1
+	}
+	return float64(cov) / float64(tot)
+}
+
+// FullOutputCoverage reports whether every identified output partition is
+// covered (the §4.3 "233 of 252 modules" statistic).
+func (r *Report) FullOutputCoverage() bool {
+	return countAll(r.CoveredOutput) == countAll(r.OutputPartitions)
+}
+
+func coverageOf(all, covered map[string][]string) float64 {
+	tot := countAll(all)
+	if tot == 0 {
+		return 1
+	}
+	return float64(countAll(covered)) / float64(tot)
+}
+
+func countAll(m map[string][]string) int {
+	n := 0
+	for _, v := range m {
+		n += len(v)
+	}
+	return n
+}

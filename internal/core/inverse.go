@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+
+	"dexa/internal/dataexample"
+	"dexa/internal/module"
+	"dexa/internal/typesys"
+)
+
+// §3.3: "Where a module m′ that is known to implement the inverse
+// functionality of m exists, then it can be used to construct data
+// examples that cover the output partitions of the module m." This file
+// implements that technique: for every output partition the §3.2 examples
+// left uncovered, a realization of the partition is pushed through the
+// inverse module to obtain candidate inputs, m is invoked on them, and
+// any invocation whose output actually lands in the missing partition
+// yields a new data example.
+//
+// The paper notes inverses are rarely available in the field — which is
+// why §3.3 falls back on input-derived examples — but when one exists
+// this recovers coverage that input partitioning alone cannot reach.
+
+// InverseReport describes one output-coverage completion run.
+type InverseReport struct {
+	// Attempted lists the output partitions the inverse was tried on.
+	Attempted []PartitionRef
+	// Covered lists the partitions newly covered.
+	Covered []PartitionRef
+	// Added is the number of data examples appended.
+	Added int
+}
+
+// CompleteWithInverse extends a §3.2-generated example set using an
+// inverse module. The inverse must consume one input whose semantic
+// annotation covers m's output parameter out (its concept subsumes or
+// equals every partition probed), and its outputs must map one-to-one
+// onto m's required inputs by semantic concept and structural type.
+//
+// It returns the extended set (the original is not mutated) and a report;
+// rep (the original generation report) is updated with the new coverage
+// when non-nil.
+func (g *Generator) CompleteWithInverse(m, inverse *module.Module, out string, set dataexample.Set, rep *Report) (dataexample.Set, *InverseReport, error) {
+	outParam, ok := m.Output(out)
+	if !ok {
+		return nil, nil, fmt.Errorf("core: module %s has no output %q", m.ID, out)
+	}
+	if !inverse.Bound() {
+		return nil, nil, fmt.Errorf("core: inverse module %s has no executor bound", inverse.ID)
+	}
+	if len(inverse.Inputs) != 1 {
+		return nil, nil, fmt.Errorf("core: inverse module %s must have exactly one input, has %d", inverse.ID, len(inverse.Inputs))
+	}
+	invIn := inverse.Inputs[0]
+	if !invIn.Struct.Equal(outParam.Struct) {
+		return nil, nil, fmt.Errorf("core: inverse input %q grounding %s does not match output %q grounding %s",
+			invIn.Name, invIn.Struct, out, outParam.Struct)
+	}
+	// Map inverse outputs onto m's required inputs by concept + grounding.
+	invToInput, err := mapInverseOutputs(g, m, inverse)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	parts, err := g.partitions(m.ID, outParam)
+	if err != nil {
+		return nil, nil, err
+	}
+	covered := map[string]bool{}
+	for _, e := range set {
+		if c := e.OutputPartitions[out]; c != "" {
+			covered[c] = true
+		}
+	}
+
+	extended := append(dataexample.Set(nil), set...)
+	report := &InverseReport{}
+	for _, part := range parts {
+		if covered[part] {
+			continue
+		}
+		if !g.ont.Subsumes(invIn.Semantic, part) {
+			continue // the inverse does not accept this partition
+		}
+		report.Attempted = append(report.Attempted, PartitionRef{Param: out, Concept: part})
+		for k := 0; k < g.valuesPerPartition(); k++ {
+			target, ok := g.pool.Realization(part, outParam.Struct, g.SelectionOffset+k)
+			if !ok {
+				break
+			}
+			invOuts, err := inverse.Invoke(map[string]typesys.Value{invIn.Name: target.Value})
+			if err != nil {
+				if module.IsExecutionError(err) {
+					continue
+				}
+				return nil, nil, fmt.Errorf("core: inverse %s: %w", inverse.ID, err)
+			}
+			inputs := make(map[string]typesys.Value, len(invToInput))
+			for invOut, inName := range invToInput {
+				inputs[inName] = invOuts[invOut]
+			}
+			outs, err := m.Invoke(inputs)
+			if err != nil {
+				if module.IsExecutionError(err) {
+					continue
+				}
+				return nil, nil, fmt.Errorf("core: module %s: %w", m.ID, err)
+			}
+			outConcepts := g.classifyOutputs(m, outs)
+			if outConcepts[out] != part {
+				continue // the round trip landed elsewhere; no coverage gained
+			}
+			ex := dataexample.Example{
+				Inputs:           inputs,
+				Outputs:          outs,
+				InputPartitions:  g.classifyInputs(m, inputs),
+				OutputPartitions: outConcepts,
+			}
+			extended = append(extended, ex)
+			covered[part] = true
+			report.Covered = append(report.Covered, PartitionRef{Param: out, Concept: part})
+			report.Added++
+			break
+		}
+	}
+	if rep != nil {
+		rep.finish(extended)
+	}
+	return extended, report, nil
+}
+
+// mapInverseOutputs pairs each required input of m with exactly one
+// inverse output carrying the same concept and grounding.
+func mapInverseOutputs(g *Generator, m, inverse *module.Module) (map[string]string, error) {
+	mapping := map[string]string{}
+	used := map[string]bool{}
+	for _, p := range m.Inputs {
+		if p.Optional {
+			continue
+		}
+		found := ""
+		for _, io := range inverse.Outputs {
+			if used[io.Name] || !io.Struct.Equal(p.Struct) {
+				continue
+			}
+			if io.Semantic == p.Semantic || g.ont.Subsumes(p.Semantic, io.Semantic) {
+				found = io.Name
+				break
+			}
+		}
+		if found == "" {
+			return nil, fmt.Errorf("core: inverse %s has no output matching required input %q (%s) of %s",
+				inverse.ID, p.Name, p.Semantic, m.ID)
+		}
+		used[found] = true
+		mapping[found] = p.Name
+	}
+	return mapping, nil
+}
+
+// classifyInputs mirrors classifyOutputs for the input side: each value is
+// assigned the most specific partition of its parameter's annotation.
+func (g *Generator) classifyInputs(m *module.Module, inputs map[string]typesys.Value) map[string]string {
+	res := make(map[string]string, len(inputs))
+	for _, p := range m.Inputs {
+		v, ok := inputs[p.Name]
+		if !ok || p.Semantic == "" {
+			continue
+		}
+		if hits := g.pool.Classify(p.Semantic, v); len(hits) > 0 {
+			res[p.Name] = hits[0]
+		} else {
+			res[p.Name] = p.Semantic
+		}
+	}
+	return res
+}

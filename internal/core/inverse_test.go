@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dexa/internal/instances"
+	"dexa/internal/module"
+	"dexa/internal/ontology"
+	"dexa/internal/typesys"
+)
+
+// inverseFixture models the §3.3 situation: a module whose output domain
+// has several partitions that the input-derived examples cannot all
+// reach, plus an inverse module that can.
+//
+// World: accessions "U<n>" and "P<n>" identify entries; getPrimaryRecord
+// renders entry n as a "UREC" record when n is even and a "PREC" record
+// when n is odd. Its input is annotated with the (leaf) Accession
+// concept, so §3.2 generates a single example — covering only one of the
+// two output partitions. The inverse extractAccession maps any record
+// back to its accession.
+type inverseFixture struct {
+	ont  *ontology.Ontology
+	pool *instances.Pool
+	m    *module.Module // getPrimaryRecord
+	inv  *module.Module // extractAccession
+}
+
+func newInverseFixture(t testing.TB) *inverseFixture {
+	t.Helper()
+	o := ontology.New("t")
+	o.MustAddConcept("Data", "")
+	o.MustAddConcept("Accession", "", "Data")
+	o.MustAddConcept("Record", "", "Data")
+	o.MustAddConcept("URecord", "", "Record")
+	o.MustAddConcept("PRecord", "", "Record")
+	if err := o.MarkAbstract("Record"); err != nil {
+		t.Fatal(err)
+	}
+
+	render := func(n int) string {
+		if n%2 == 0 {
+			return fmt.Sprintf("UREC entry=%d", n)
+		}
+		return fmt.Sprintf("PREC entry=%d", n)
+	}
+	parse := func(rec string) (int, bool) {
+		var n int
+		if _, err := fmt.Sscanf(rec, "UREC entry=%d", &n); err == nil {
+			return n, true
+		}
+		if _, err := fmt.Sscanf(rec, "PREC entry=%d", &n); err == nil {
+			return n, true
+		}
+		return 0, false
+	}
+
+	p := instances.NewPool(o)
+	// The pool's only accession realization is even -> only URecord is
+	// reachable from input partitioning.
+	p.MustAdd("Accession", typesys.Str("ACC4"), "")
+	p.MustAdd("URecord", typesys.Str(render(2)), "")
+	p.MustAdd("PRecord", typesys.Str(render(3)), "")
+	if err := p.RegisterClassifier("Record", func(v typesys.Value) string {
+		s, ok := v.(typesys.StringValue)
+		if !ok {
+			return ""
+		}
+		switch {
+		case strings.HasPrefix(string(s), "UREC"):
+			return "URecord"
+		case strings.HasPrefix(string(s), "PREC"):
+			return "PRecord"
+		}
+		return ""
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	m := &module.Module{
+		ID: "getPrimaryRecord", Name: "GetPrimaryRecord",
+		Inputs:  []module.Parameter{{Name: "acc", Struct: typesys.StringType, Semantic: "Accession"}},
+		Outputs: []module.Parameter{{Name: "record", Struct: typesys.StringType, Semantic: "Record"}},
+	}
+	m.Bind(module.ExecFunc(func(in map[string]typesys.Value) (map[string]typesys.Value, error) {
+		acc := string(in["acc"].(typesys.StringValue))
+		var n int
+		if _, err := fmt.Sscanf(acc, "ACC%d", &n); err != nil {
+			return nil, module.ErrRejectedInput
+		}
+		return map[string]typesys.Value{"record": typesys.Str(render(n))}, nil
+	}))
+
+	inv := &module.Module{
+		ID: "extractAccession", Name: "ExtractAccession",
+		Inputs:  []module.Parameter{{Name: "record", Struct: typesys.StringType, Semantic: "Record"}},
+		Outputs: []module.Parameter{{Name: "acc", Struct: typesys.StringType, Semantic: "Accession"}},
+	}
+	inv.Bind(module.ExecFunc(func(in map[string]typesys.Value) (map[string]typesys.Value, error) {
+		n, ok := parse(string(in["record"].(typesys.StringValue)))
+		if !ok {
+			return nil, module.ErrRejectedInput
+		}
+		return map[string]typesys.Value{"acc": typesys.Str(fmt.Sprintf("ACC%d", n))}, nil
+	}))
+	return &inverseFixture{ont: o, pool: p, m: m, inv: inv}
+}
+
+func TestCompleteWithInverseCoversMissingPartition(t *testing.T) {
+	f := newInverseFixture(t)
+	g := NewGenerator(f.ont, f.pool)
+
+	set, rep, err := g.Generate(f.m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 || rep.OutputCoverage() != 0.5 {
+		t.Fatalf("baseline: %d examples, output coverage %.2f", len(set), rep.OutputCoverage())
+	}
+
+	extended, invRep, err := g.CompleteWithInverse(f.m, f.inv, "record", set, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if invRep.Added != 1 || len(invRep.Covered) != 1 {
+		t.Fatalf("inverse report = %+v", invRep)
+	}
+	if invRep.Covered[0].Concept != "PRecord" {
+		t.Errorf("covered %v", invRep.Covered)
+	}
+	if len(extended) != 2 {
+		t.Fatalf("extended set = %d", len(extended))
+	}
+	if rep.OutputCoverage() != 1 {
+		t.Errorf("output coverage after inverse = %.2f", rep.OutputCoverage())
+	}
+	// The synthesised example is a genuine invocation of m.
+	added := extended[1]
+	if added.OutputPartitions["record"] != "PRecord" {
+		t.Errorf("added example partitions = %v", added.OutputPartitions)
+	}
+	got, err := f.m.Invoke(added.Inputs)
+	if err != nil || !got["record"].Equal(added.Outputs["record"]) {
+		t.Errorf("added example not reproducible: %v, %v", got, err)
+	}
+	// Original set untouched.
+	if len(set) != 1 {
+		t.Error("input set was mutated")
+	}
+}
+
+func TestCompleteWithInverseIdempotent(t *testing.T) {
+	f := newInverseFixture(t)
+	g := NewGenerator(f.ont, f.pool)
+	set, rep, err := g.Generate(f.m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	once, _, err := g.CompleteWithInverse(f.m, f.inv, "record", set, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, repTwo, err := g.CompleteWithInverse(f.m, f.inv, "record", once, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repTwo.Added != 0 || len(twice) != len(once) {
+		t.Errorf("second run added %d examples", repTwo.Added)
+	}
+}
+
+func TestCompleteWithInverseErrors(t *testing.T) {
+	f := newInverseFixture(t)
+	g := NewGenerator(f.ont, f.pool)
+	set, rep, err := g.Generate(f.m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := g.CompleteWithInverse(f.m, f.inv, "nope", set, rep); err == nil {
+		t.Error("unknown output should fail")
+	}
+
+	unbound := *f.inv
+	unbound.Bind(nil)
+	if _, _, err := g.CompleteWithInverse(f.m, &unbound, "record", set, rep); err == nil {
+		t.Error("unbound inverse should fail")
+	}
+
+	twoIn := *f.inv
+	twoIn.Inputs = append(append([]module.Parameter(nil), f.inv.Inputs...),
+		module.Parameter{Name: "extra", Struct: typesys.StringType, Semantic: "Accession"})
+	if _, _, err := g.CompleteWithInverse(f.m, &twoIn, "record", set, rep); err == nil {
+		t.Error("multi-input inverse should fail")
+	}
+
+	badGrounding := *f.inv
+	badGrounding.Inputs = []module.Parameter{{Name: "record", Struct: typesys.IntType, Semantic: "Record"}}
+	if _, _, err := g.CompleteWithInverse(f.m, &badGrounding, "record", set, rep); err == nil {
+		t.Error("grounding mismatch should fail")
+	}
+
+	noMatch := *f.inv
+	noMatch.Outputs = []module.Parameter{{Name: "acc", Struct: typesys.StringType, Semantic: "Record"}}
+	if _, _, err := g.CompleteWithInverse(f.m, &noMatch, "record", set, rep); err == nil {
+		t.Error("unmappable inverse outputs should fail")
+	}
+}
+
+// TestCompleteWithInverseRejectingInverse: an inverse that rejects some
+// partitions simply cannot cover them — no error, no coverage.
+func TestCompleteWithInverseRejectingInverse(t *testing.T) {
+	f := newInverseFixture(t)
+	g := NewGenerator(f.ont, f.pool)
+	set, rep, err := g.Generate(f.m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	picky := *f.inv
+	picky.Bind(module.ExecFunc(func(map[string]typesys.Value) (map[string]typesys.Value, error) {
+		return nil, module.ErrRejectedInput
+	}))
+	extended, invRep, err := g.CompleteWithInverse(f.m, &picky, "record", set, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if invRep.Added != 0 || len(extended) != len(set) {
+		t.Errorf("rejecting inverse should add nothing: %+v", invRep)
+	}
+	if len(invRep.Attempted) == 0 {
+		t.Error("attempts should still be recorded")
+	}
+}

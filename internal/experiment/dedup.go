@@ -1,0 +1,104 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"dexa/internal/dedup"
+)
+
+// RunDedup evaluates the §8 future-work extension: detecting redundant
+// data examples without ground truth, via duplicate-record-detection
+// clustering of output templates (package dedup). For every catalog
+// module the detector's redundancy flags are scored against the
+// ground-truth behaviour classes, and its conciseness estimate against
+// the true §4.2 value.
+func (s *Suite) RunDedup() Result {
+	gen := s.U.Gen
+	opts := dedup.DefaultOptions()
+
+	var (
+		tp, fp, fn int // redundancy flags vs ground truth
+		absErr     float64
+		perfect    int
+		modules    int
+	)
+	for _, e := range s.U.Catalog.Entries {
+		set, _, err := gen.Generate(e.Module)
+		if err != nil {
+			panic(fmt.Sprintf("experiment: dedup generate %s: %v", e.Module.ID, err))
+		}
+		modules++
+
+		// Ground truth: example i is redundant iff an earlier example
+		// exercises the same behaviour class.
+		seen := map[string]bool{}
+		truth := make([]bool, len(set))
+		for i, ex := range set {
+			cls, ok := e.Behavior.ClassOf(ex.Inputs)
+			if !ok {
+				continue
+			}
+			if seen[cls] {
+				truth[i] = true
+			}
+			seen[cls] = true
+		}
+		res := dedup.Detect(set, opts)
+		flagged := map[int]bool{}
+		for _, i := range res.Redundant {
+			flagged[i] = true
+		}
+		exact := true
+		for i := range set {
+			switch {
+			case flagged[i] && truth[i]:
+				tp++
+			case flagged[i] && !truth[i]:
+				fp++
+				exact = false
+			case !flagged[i] && truth[i]:
+				fn++
+				exact = false
+			}
+		}
+		if exact {
+			perfect++
+		}
+		trueConc := 1.0
+		if len(set) > 0 {
+			red := 0
+			for _, r := range truth {
+				if r {
+					red++
+				}
+			}
+			trueConc = 1 - float64(red)/float64(len(set))
+		}
+		absErr += math.Abs(res.InferredConciseness(len(set)) - trueConc)
+	}
+
+	ratio := func(num, den int) string {
+		if den == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.2f", float64(num)/float64(den))
+	}
+	return Result{
+		ID:    "dedup",
+		Title: "Future-work extension: ground-truth-free redundancy detection (§8)",
+		Rows: []Row{
+			{Label: "modules analysed", Paper: "—", Measured: fmt.Sprintf("%d", modules)},
+			{Label: "redundant examples correctly flagged (TP)", Paper: "—", Measured: fmt.Sprintf("%d", tp)},
+			{Label: "false positives", Paper: "—", Measured: fmt.Sprintf("%d", fp)},
+			{Label: "false negatives", Paper: "—", Measured: fmt.Sprintf("%d", fn)},
+			{Label: "precision", Paper: "—", Measured: ratio(tp, tp+fp)},
+			{Label: "recall", Paper: "—", Measured: ratio(tp, tp+fn)},
+			{Label: "modules with exactly recovered redundancy", Paper: "—", Measured: fmt.Sprintf("%d", perfect)},
+			{Label: "mean abs. error of conciseness estimate", Paper: "—", Measured: fmt.Sprintf("%.3f", absErr/float64(modules))},
+		},
+		Notes: []string{
+			"the paper proposes record-linkage-based redundancy detection as future work; this measures a template-fingerprint implementation against the catalog's ground truth",
+		},
+	}
+}

@@ -1,0 +1,126 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation over the simulation universe, reporting measured values next
+// to the published ones. Absolute agreement is expected here because the
+// synthetic catalog was calibrated to the published workload; the point of
+// the harness is that the *method* (partitioning, generation, metrics,
+// matching, repair) actually produces those numbers rather than asserting
+// them.
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"dexa/internal/simulation"
+)
+
+// Row is one line of a reproduced table or figure.
+type Row struct {
+	Label    string
+	Paper    string
+	Measured string
+}
+
+// Result is one reproduced experiment.
+type Result struct {
+	ID    string // e.g. "table1", "fig8"
+	Title string
+	Rows  []Row
+	Notes []string
+}
+
+// Format renders the result as an aligned text table.
+func Format(r Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", r.ID, r.Title)
+	labelW, paperW := len("row"), len("paper")
+	for _, row := range r.Rows {
+		if len(row.Label) > labelW {
+			labelW = len(row.Label)
+		}
+		if len(row.Paper) > paperW {
+			paperW = len(row.Paper)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %-*s  %s\n", labelW, "row", paperW, "paper", "measured")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-*s  %-*s  %s\n", labelW, row.Label, paperW, row.Paper, row.Measured)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Suite owns the experimental universe and runs the individual
+// reproductions. Construction is expensive (it builds the catalog, pools
+// and workflow repository), so a Suite is meant to be reused.
+type Suite struct {
+	U *simulation.Universe
+
+	legacyOnce sync.Once
+	legacy     *simulation.LegacyWorld
+
+	catalogEval []moduleResult
+}
+
+// NewSuite builds the universe.
+func NewSuite() *Suite {
+	return &Suite{U: simulation.NewUniverse()}
+}
+
+// Legacy lazily builds the §6 legacy world (it is only needed by the
+// Figure-8 and matcher-ablation experiments).
+func (s *Suite) Legacy() *simulation.LegacyWorld {
+	s.legacyOnce.Do(func() {
+		s.legacy = simulation.BuildLegacyWorld(s.U)
+	})
+	return s.legacy
+}
+
+// Experiments lists the available experiment IDs in presentation order.
+func Experiments() []string {
+	return []string{"table3", "coverage", "table1", "table2", "fig5", "fig8", "ablation-partition", "ablation-matchers", "ablation-probing", "dedup"}
+}
+
+// Run executes one experiment by ID.
+func (s *Suite) Run(id string) (Result, error) {
+	switch id {
+	case "table3":
+		return s.RunTable3(), nil
+	case "coverage":
+		return s.RunCoverage(), nil
+	case "table1":
+		return s.RunTable1(), nil
+	case "table2":
+		return s.RunTable2(), nil
+	case "fig5":
+		return s.RunFigure5(), nil
+	case "fig8":
+		return s.RunFigure8(), nil
+	case "ablation-partition":
+		return s.RunAblationPartitioning(), nil
+	case "ablation-matchers":
+		return s.RunAblationMatchers(), nil
+	case "ablation-probing":
+		return s.RunAblationProbing(), nil
+	case "dedup":
+		return s.RunDedup(), nil
+	default:
+		return Result{}, fmt.Errorf("experiment: unknown experiment %q (have %v)", id, Experiments())
+	}
+}
+
+// RunAll executes every experiment in order.
+func (s *Suite) RunAll() []Result {
+	var out []Result
+	for _, id := range Experiments() {
+		r, err := s.Run(id)
+		if err != nil {
+			panic(err) // unreachable: Experiments() only returns known IDs
+		}
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var sharedSuite *Suite
+
+func suite(t testing.TB) *Suite {
+	t.Helper()
+	if sharedSuite == nil {
+		sharedSuite = NewSuite()
+	}
+	return sharedSuite
+}
+
+// rowByLabel finds a row, failing the test when absent.
+func rowByLabel(t *testing.T, r Result, label string) Row {
+	t.Helper()
+	for _, row := range r.Rows {
+		if row.Label == label {
+			return row
+		}
+	}
+	t.Fatalf("experiment %s: no row %q (have %v)", r.ID, label, r.Rows)
+	return Row{}
+}
+
+func measuredInt(t *testing.T, r Result, label string) int {
+	t.Helper()
+	row := rowByLabel(t, r, label)
+	fields := strings.Fields(row.Measured)
+	n, err := strconv.Atoi(fields[0])
+	if err != nil {
+		t.Fatalf("experiment %s row %q: measured %q not numeric", r.ID, label, row.Measured)
+	}
+	return n
+}
+
+func TestRunTable3(t *testing.T) {
+	r := suite(t).RunTable3()
+	if got := measuredInt(t, r, "total"); got != 252 {
+		t.Errorf("total = %d", got)
+	}
+	if got := measuredInt(t, r, "mapping identifiers"); got != 62 {
+		t.Errorf("mapping = %d", got)
+	}
+	for _, row := range r.Rows {
+		if row.Paper != row.Measured && row.Label != "total" {
+			t.Errorf("row %q: paper %s vs measured %s", row.Label, row.Paper, row.Measured)
+		}
+	}
+}
+
+func TestRunCoverage(t *testing.T) {
+	r := suite(t).RunCoverage()
+	if got := measuredInt(t, r, "modules with all input partitions covered"); got != 252 {
+		t.Errorf("input coverage = %d", got)
+	}
+	if got := measuredInt(t, r, "modules with uncovered output partitions"); got != 19 {
+		t.Errorf("uncovered outputs = %d", got)
+	}
+	if got := measuredInt(t, r, "paper-named exceptions present (get_genes_by_enzyme, link, binfo)"); got != 3 {
+		t.Errorf("named exceptions = %d", got)
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	r := suite(t).RunTable1()
+	if got := measuredInt(t, r, "completeness 1.00"); got != 234 {
+		t.Errorf("complete modules = %d", got)
+	}
+	if got := measuredInt(t, r, "completeness 0.75"); got != 8 {
+		t.Errorf("0.75 bucket = %d", got)
+	}
+	if len(r.Notes) == 0 {
+		t.Error("Table 1 should note the paper's row-sum inconsistency")
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	r := suite(t).RunTable2()
+	want := map[string]int{
+		"conciseness 1.00": 192, "conciseness 0.50": 32, "conciseness 0.47": 7,
+		"conciseness 0.40": 4, "conciseness 0.33": 4, "conciseness 0.20": 8,
+		"conciseness 0.17": 4, "conciseness 0.10": 1,
+	}
+	for label, n := range want {
+		if got := measuredInt(t, r, label); got != n {
+			t.Errorf("%s = %d, want %d", label, got, n)
+		}
+	}
+}
+
+func TestRunFigure5(t *testing.T) {
+	r := suite(t).RunFigure5()
+	if got := measuredInt(t, r, "user1 without examples"); got != 47 {
+		t.Errorf("user1 without = %d", got)
+	}
+	if got := measuredInt(t, r, "user1 with examples"); got != 169 {
+		t.Errorf("user1 with = %d", got)
+	}
+	row := rowByLabel(t, r, "user1 with examples: filtering")
+	if row.Measured != "5/27" {
+		t.Errorf("filtering row = %q", row.Measured)
+	}
+	avg := rowByLabel(t, r, "average identified with examples")
+	if !strings.HasSuffix(avg.Measured, "%") {
+		t.Errorf("avg row = %q", avg.Measured)
+	}
+}
+
+func TestRunFigure8(t *testing.T) {
+	r := suite(t).RunFigure8()
+	checks := map[string]int{
+		"unavailable modules with reconstructable data examples":    72,
+		"matched with equivalent behaviour":                         16,
+		"matched with overlapping behaviour":                        23,
+		"no behavioural match":                                      33,
+		"broken workflows in the repository":                        1500,
+		"workflows fully repaired":                                  261,
+		"  …of which via context-certified overlapping substitutes": 13,
+		"workflows partly repaired":                                 73,
+		"workflows repaired in total (full + part)":                 334,
+	}
+	for label, want := range checks {
+		if got := measuredInt(t, r, label); got != want {
+			t.Errorf("%s = %d, want %d", label, got, want)
+		}
+	}
+}
+
+func TestRunAblationPartitioning(t *testing.T) {
+	r := suite(t).RunAblationPartitioning()
+	parse := func(label string) float64 {
+		row := rowByLabel(t, r, label)
+		f, err := strconv.ParseFloat(row.Measured, 64)
+		if err != nil {
+			t.Fatalf("row %q: %v", label, err)
+		}
+		return f
+	}
+	realization := parse("avg completeness (realization)")
+	leaf := parse("avg completeness (leaf-only)")
+	if realization <= leaf {
+		t.Errorf("realization completeness %.3f should beat leaf-only %.3f", realization, leaf)
+	}
+	rEx := measuredInt(t, r, "total examples (realization)")
+	lEx := measuredInt(t, r, "total examples (leaf-only)")
+	if rEx <= lEx {
+		t.Errorf("realization should generate more examples (%d vs %d)", rEx, lEx)
+	}
+}
+
+func TestRunAblationMatchers(t *testing.T) {
+	r := suite(t).RunAblationMatchers()
+	sigProposed := measuredInt(t, r, "signature-only: substitutes proposed")
+	sigValid := measuredInt(t, r, "signature-only: behaviourally valid")
+	if sigProposed <= sigValid {
+		t.Errorf("signature baseline should over-propose (%d proposed, %d valid)", sigProposed, sigValid)
+	}
+	if row := rowByLabel(t, r, "data examples: precision"); row.Measured != "1.00" {
+		t.Errorf("data-example precision = %q", row.Measured)
+	}
+	if got := measuredInt(t, r, "data examples: equivalents missed (of 16)"); got != 0 {
+		t.Errorf("data examples missed %d equivalents", got)
+	}
+	traceMissed := measuredInt(t, r, "unaligned traces: equivalents missed (of 16)")
+	if traceMissed == 0 {
+		t.Error("trace baseline should miss equivalents for lack of shared inputs")
+	}
+}
+
+func TestRunAblationProbing(t *testing.T) {
+	r := suite(t).RunAblationProbing()
+	parse := func(label string) float64 {
+		row := rowByLabel(t, r, label)
+		f, err := strconv.ParseFloat(row.Measured, 64)
+		if err != nil {
+			t.Fatalf("row %q: %v", label, err)
+		}
+		return f
+	}
+	// Probing must not change completeness but must hurt conciseness.
+	if parse("k=1: avg completeness") != parse("k=3: avg completeness") {
+		t.Error("probing should not change completeness in this pool")
+	}
+	if parse("k=3: avg conciseness") >= parse("k=1: avg conciseness") {
+		t.Error("probing should increase redundancy")
+	}
+}
+
+func TestRunDedup(t *testing.T) {
+	r := suite(t).RunDedup()
+	if got := measuredInt(t, r, "modules analysed"); got != 252 {
+		t.Errorf("modules = %d", got)
+	}
+	prec := rowByLabel(t, r, "precision").Measured
+	p, err := strconv.ParseFloat(prec, 64)
+	if err != nil || p < 0.6 {
+		t.Errorf("precision = %q; the detector should be usefully precise", prec)
+	}
+	rec := rowByLabel(t, r, "recall").Measured
+	rc, err := strconv.ParseFloat(rec, 64)
+	if err != nil || rc <= 0.2 {
+		t.Errorf("recall = %q; the detector should find a fair share of redundancy", rec)
+	}
+	if got := measuredInt(t, r, "modules with exactly recovered redundancy"); got < 200 {
+		t.Errorf("exactly recovered = %d; most modules should be handled perfectly", got)
+	}
+}
+
+func TestRunAndRunAll(t *testing.T) {
+	s := suite(t)
+	if _, err := s.Run("no-such-experiment"); err == nil {
+		t.Error("unknown experiment should error")
+	}
+	for _, id := range Experiments() {
+		r, err := s.Run(id)
+		if err != nil {
+			t.Fatalf("Run(%s): %v", id, err)
+		}
+		if r.ID != id || len(r.Rows) == 0 {
+			t.Errorf("Run(%s) returned %q with %d rows", id, r.ID, len(r.Rows))
+		}
+		text := Format(r)
+		if !strings.Contains(text, r.Title) || !strings.Contains(text, "paper") {
+			t.Errorf("Format(%s) malformed:\n%s", id, text)
+		}
+	}
+	all := s.RunAll()
+	if len(all) != len(Experiments()) {
+		t.Errorf("RunAll = %d results", len(all))
+	}
+}

@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"fmt"
+
+	"dexa/internal/match"
+	"dexa/internal/workflow"
+)
+
+// RunFigure8 reproduces the §6 matching experiment: the 72 unavailable
+// modules with provenance-reconstructed data examples are matched against
+// the 252 available modules, and the whole workflow repository is then
+// repaired.
+func (s *Suite) RunFigure8() Result {
+	lw := s.Legacy()
+	u := s.U
+	cmp := match.NewComparer(u.Ont, nil)
+	src := lw.ExamplesSource()
+	available := u.Registry.Available()
+
+	equivalent, overlapping, none := 0, 0, 0
+	for _, lm := range lw.Traced {
+		examples, ok := src(lm.Module.ID)
+		if !ok {
+			none++
+			continue
+		}
+		cands, err := cmp.FindSubstitutes(match.Unavailable{Signature: lm.Module, Examples: examples}, available)
+		if err != nil {
+			panic(fmt.Sprintf("experiment: matching %s: %v", lm.Module.ID, err))
+		}
+		switch {
+		case len(cands) > 0 && cands[0].Result.Verdict == match.Equivalent:
+			equivalent++
+		case len(cands) > 0:
+			overlapping++
+		default:
+			none++
+		}
+	}
+
+	// Repair the full repository with the two-pass repairer.
+	exact := match.NewComparer(u.Ont, nil)
+	relaxed := match.NewComparer(u.Ont, nil)
+	relaxed.Mode = match.ModeRelaxed
+	rep := &workflow.Repairer{
+		Reg: u.Registry, Exact: exact, Relaxed: relaxed,
+		Examples: src, Cache: true,
+	}
+	var broken, fully, fullyContextual, partial, unrepaired int
+	for _, wf := range lw.Workflows {
+		res, err := rep.Repair(wf)
+		if err != nil {
+			panic(fmt.Sprintf("experiment: repairing %s: %v", wf.ID, err))
+		}
+		switch res.Status {
+		case workflow.NotBroken:
+			continue
+		case workflow.FullyRepaired:
+			broken++
+			fully++
+			for _, r := range res.Replacements {
+				if r.Contextual {
+					fullyContextual++
+					break
+				}
+			}
+		case workflow.PartiallyRepaired:
+			broken++
+			partial++
+		case workflow.Unrepaired:
+			broken++
+			unrepaired++
+		}
+	}
+
+	return Result{
+		ID:    "fig8",
+		Title: "Matching unavailable modules and repairing decayed workflows (Figure 8, §6)",
+		Rows: []Row{
+			{Label: "unavailable modules with reconstructable data examples", Paper: "72", Measured: fmt.Sprintf("%d", len(lw.Traced))},
+			{Label: "matched with equivalent behaviour", Paper: "16", Measured: fmt.Sprintf("%d", equivalent)},
+			{Label: "matched with overlapping behaviour", Paper: "23", Measured: fmt.Sprintf("%d", overlapping)},
+			{Label: "no behavioural match", Paper: "33", Measured: fmt.Sprintf("%d", none)},
+			{Label: "broken workflows in the repository", Paper: "~1500", Measured: fmt.Sprintf("%d", broken)},
+			{Label: "workflows fully repaired", Paper: "261", Measured: fmt.Sprintf("%d", fully)},
+			{Label: "  …of which via context-certified overlapping substitutes", Paper: "13", Measured: fmt.Sprintf("%d", fullyContextual)},
+			{Label: "workflows partly repaired", Paper: "73", Measured: fmt.Sprintf("%d", partial)},
+			{Label: "workflows repaired in total (full + part)", Paper: "334", Measured: fmt.Sprintf("%d", fully+partial)},
+			{Label: "broken workflows left unrepaired", Paper: "—", Measured: fmt.Sprintf("%d", unrepaired)},
+		},
+		Notes: []string{
+			"examples for unavailable modules are reconstructed from the legacy provenance corpus, never by invocation",
+			"repairs are applied with the two-pass repairer: exact equivalents first, then Figure-7-style context-certified overlapping substitutes",
+		},
+	}
+}

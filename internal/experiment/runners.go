@@ -1,0 +1,202 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dexa/internal/metrics"
+	"dexa/internal/module"
+	"dexa/internal/simulation"
+)
+
+// moduleResult caches generation + evaluation for one catalog module.
+type moduleResult struct {
+	entry         *simulation.CatalogEntry
+	eval          metrics.Evaluation
+	inputCoverage float64
+	fullOutput    bool
+}
+
+var kindOrder = []module.Kind{
+	module.KindTransformation, module.KindRetrieval, module.KindMapping,
+	module.KindFiltering, module.KindAnalysis,
+}
+
+// evaluateCatalog runs the generation heuristic over all 252 modules once
+// per suite.
+func (s *Suite) evaluateCatalog() []moduleResult {
+	if s.catalogEval != nil {
+		return s.catalogEval
+	}
+	for _, e := range s.U.Catalog.Entries {
+		set, rep, err := s.U.Gen.Generate(e.Module)
+		if err != nil {
+			panic(fmt.Sprintf("experiment: generating for %s: %v", e.Module.ID, err))
+		}
+		s.catalogEval = append(s.catalogEval, moduleResult{
+			entry:         e,
+			eval:          metrics.Evaluate(set, e.Behavior),
+			inputCoverage: rep.InputCoverage(),
+			fullOutput:    rep.FullOutputCoverage(),
+		})
+	}
+	return s.catalogEval
+}
+
+// RunTable3 reproduces Table 3: the kinds of data manipulation carried out
+// by the 252 modules.
+func (s *Suite) RunTable3() Result {
+	counts := s.U.Catalog.KindCounts()
+	paper := map[module.Kind]int{
+		module.KindTransformation: 53, module.KindRetrieval: 51,
+		module.KindMapping: 62, module.KindFiltering: 27, module.KindAnalysis: 59,
+	}
+	res := Result{ID: "table3", Title: "Kinds of data manipulation (252 modules)"}
+	total := 0
+	for _, k := range kindOrder {
+		res.Rows = append(res.Rows, Row{
+			Label:    k.String(),
+			Paper:    fmt.Sprintf("%d", paper[k]),
+			Measured: fmt.Sprintf("%d", counts[k]),
+		})
+		total += counts[k]
+	}
+	res.Rows = append(res.Rows, Row{Label: "total", Paper: "252", Measured: fmt.Sprintf("%d", total)})
+	return res
+}
+
+// RunCoverage reproduces the §4.3 coverage findings: every input partition
+// covered; all output partitions covered for all but 19 modules.
+func (s *Suite) RunCoverage() Result {
+	evals := s.evaluateCatalog()
+	fullInput := 0
+	var uncovered []string
+	for _, mr := range evals {
+		if mr.inputCoverage == 1 {
+			fullInput++
+		}
+		if !mr.fullOutput {
+			uncovered = append(uncovered, mr.entry.Module.ID)
+		}
+	}
+	sort.Strings(uncovered)
+	named := 0
+	for _, id := range uncovered {
+		switch id {
+		case "get_genes_by_enzyme", "link", "binfo":
+			named++
+		}
+	}
+	return Result{
+		ID:    "coverage",
+		Title: "Partition coverage of the generated data examples (§4.3)",
+		Rows: []Row{
+			{Label: "modules with all input partitions covered", Paper: "252", Measured: fmt.Sprintf("%d", fullInput)},
+			{Label: "modules with all output partitions covered", Paper: "233", Measured: fmt.Sprintf("%d", len(evals)-len(uncovered))},
+			{Label: "modules with uncovered output partitions", Paper: "19", Measured: fmt.Sprintf("%d", len(uncovered))},
+			{Label: "paper-named exceptions present (get_genes_by_enzyme, link, binfo)", Paper: "3", Measured: fmt.Sprintf("%d", named)},
+		},
+	}
+}
+
+func bucket2(x float64) string { return fmt.Sprintf("%.2f", math.Round(x*100)/100) }
+
+// RunTable1 reproduces Table 1: the completeness distribution.
+func (s *Suite) RunTable1() Result {
+	dist := map[string]int{}
+	for _, mr := range s.evaluateCatalog() {
+		dist[bucket2(mr.eval.Completeness)]++
+	}
+	paperRows := []struct {
+		bucket string
+		paper  string
+	}{
+		{"1.00", "236"}, {"0.75", "8"}, {"0.63", "4 (0.625)"}, {"0.60", "4"}, {"0.50", "2"},
+	}
+	res := Result{ID: "table1", Title: "Data example completeness (Table 1)"}
+	for _, pr := range paperRows {
+		res.Rows = append(res.Rows, Row{
+			Label:    "completeness " + pr.bucket,
+			Paper:    pr.paper + " modules",
+			Measured: fmt.Sprintf("%d modules", dist[pr.bucket]),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"the published Table 1 rows sum to 254 for 252 modules; this reproduction keeps the row structure, yielding 234 fully characterised modules")
+	return res
+}
+
+// RunTable2 reproduces Table 2: the conciseness distribution.
+func (s *Suite) RunTable2() Result {
+	dist := map[string]int{}
+	for _, mr := range s.evaluateCatalog() {
+		dist[bucket2(mr.eval.Conciseness)]++
+	}
+	paperRows := []struct {
+		bucket string
+		paper  string
+	}{
+		{"1.00", "192"}, {"0.50", "32"}, {"0.47", "7"}, {"0.40", "4"},
+		{"0.33", "4"}, {"0.20", "8"}, {"0.17", "4"}, {"0.10", "1"},
+	}
+	res := Result{ID: "table2", Title: "Data example conciseness (Table 2)"}
+	for _, pr := range paperRows {
+		res.Rows = append(res.Rows, Row{
+			Label:    "conciseness " + pr.bucket,
+			Paper:    pr.paper + " modules",
+			Measured: fmt.Sprintf("%d modules", dist[pr.bucket]),
+		})
+	}
+	return res
+}
+
+// RunFigure5 reproduces Figure 5 and the §5 per-kind analysis: modules
+// whose behaviour each (simulated) user identified without and with data
+// examples.
+func (s *Suite) RunFigure5() Result {
+	results := simulation.RunUserStudy(s.U.Catalog, simulation.DefaultUsers())
+	res := Result{ID: "fig5", Title: "Understanding modules with and without data examples (Figure 5)"}
+	paperWithout := map[string]string{"user1": "47", "user2": "~47", "user3": "~47"}
+	paperWith := map[string]string{"user1": "169", "user2": "~169", "user3": "~169"}
+	for _, r := range results {
+		res.Rows = append(res.Rows, Row{
+			Label:    r.User + " without examples",
+			Paper:    paperWithout[r.User],
+			Measured: fmt.Sprintf("%d", r.WithoutExamples),
+		})
+		res.Rows = append(res.Rows, Row{
+			Label:    r.User + " with examples",
+			Paper:    paperWith[r.User],
+			Measured: fmt.Sprintf("%d", r.WithExamples),
+		})
+	}
+	// Per-kind rows for user1, matching the §5 analysis.
+	u1 := results[0]
+	perKindPaper := map[module.Kind]string{
+		module.KindTransformation: "53/53",
+		module.KindRetrieval:      "43/51",
+		module.KindMapping:        "62/62",
+		module.KindFiltering:      "5/27",
+		module.KindAnalysis:       "6/59",
+	}
+	kindTotals := s.U.Catalog.KindCounts()
+	for _, k := range kindOrder {
+		res.Rows = append(res.Rows, Row{
+			Label:    "user1 with examples: " + k.String(),
+			Paper:    perKindPaper[k],
+			Measured: fmt.Sprintf("%d/%d", u1.PerKindWith[k], kindTotals[k]),
+		})
+	}
+	avg := 0
+	for _, r := range results {
+		avg += r.WithExamples
+	}
+	res.Rows = append(res.Rows, Row{
+		Label:    "average identified with examples",
+		Paper:    "73%",
+		Measured: fmt.Sprintf("%d%%", int(math.Round(float64(avg)/3/252*100))),
+	})
+	res.Notes = append(res.Notes, "users are simulated annotators; per-kind competence encodes the paper's §5 analysis (see DESIGN.md)")
+	return res
+}

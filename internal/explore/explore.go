@@ -1,0 +1,264 @@
+// Package explore implements step 3 of the system architecture (Figure
+// 3): presenting a module's annotations — signature, semantic types and
+// data examples — to an experiment designer so they can understand the
+// module's behaviour without source code or ontology expertise.
+//
+// Beyond pretty-printing, the package derives *behaviour hints*: simple
+// observations over the data examples (input echoed in the output,
+// constant outputs, per-partition variation, output format) that guide a
+// reader the way §5's study participants read example tables.
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dexa/internal/core"
+	"dexa/internal/dataexample"
+	"dexa/internal/module"
+	"dexa/internal/typesys"
+)
+
+// Card renders a complete module annotation card.
+func Card(m *module.Module, set dataexample.Set, rep *core.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (%s)\n", m.ID, m.Name)
+	if m.Description != "" {
+		fmt.Fprintf(&b, "  %s\n", m.Description)
+	}
+	fmt.Fprintf(&b, "  kind: %s   form: %s   provider: %s\n", m.Kind, m.Form, orDash(m.Provider))
+	b.WriteString("\nsignature:\n")
+	for _, p := range m.Inputs {
+		fmt.Fprintf(&b, "  in  %-14s %-28s %s%s\n", p.Name, p.Struct, orDash(p.Semantic), optionalMark(p))
+	}
+	for _, p := range m.Outputs {
+		fmt.Fprintf(&b, "  out %-14s %-28s %s\n", p.Name, p.Struct, orDash(p.Semantic))
+	}
+	if rep != nil {
+		b.WriteString("\npartitions:\n")
+		for _, p := range m.Inputs {
+			fmt.Fprintf(&b, "  %s: %s\n", p.Name, strings.Join(rep.InputPartitions[p.Name], ", "))
+		}
+		fmt.Fprintf(&b, "  coverage: input %.2f, output %.2f\n", rep.InputCoverage(), rep.OutputCoverage())
+	}
+	fmt.Fprintf(&b, "\ndata examples (%d):\n", len(set))
+	for i, e := range set {
+		fmt.Fprintf(&b, "  δ%-3d %s\n", i+1, truncateLine(e.String(), 140))
+	}
+	hints := BehaviourHints(set)
+	if len(hints) > 0 {
+		b.WriteString("\nbehaviour hints:\n")
+		for _, h := range hints {
+			fmt.Fprintf(&b, "  - %s\n", h)
+		}
+	}
+	return b.String()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "—"
+	}
+	return s
+}
+
+func optionalMark(p module.Parameter) string {
+	if !p.Optional {
+		return ""
+	}
+	if p.Default != nil {
+		return fmt.Sprintf(" (optional, default %s)", p.Default)
+	}
+	return " (optional)"
+}
+
+func truncateLine(s string, n int) string {
+	s = strings.ReplaceAll(s, "\n", "\\n")
+	if len(s) > n {
+		return s[:n] + "…"
+	}
+	return s
+}
+
+// BehaviourHints derives human-oriented observations from a module's data
+// examples.
+func BehaviourHints(set dataexample.Set) []string {
+	if len(set) == 0 {
+		return []string{"no data examples available; behaviour unknown"}
+	}
+	var hints []string
+	hints = append(hints, echoHints(set)...)
+	hints = append(hints, constancyHints(set)...)
+	hints = append(hints, partitionHints(set)...)
+	hints = append(hints, shapeHints(set)...)
+	return hints
+}
+
+// echoHints reports outputs that embed an input value verbatim — the
+// signature of retrieval and transformation shims.
+func echoHints(set dataexample.Set) []string {
+	counts := map[string]int{} // "out<-in" -> examples where echo holds
+	for _, e := range set {
+		for outName, ov := range e.Outputs {
+			outStr := flatString(ov)
+			if outStr == "" {
+				continue
+			}
+			for inName, iv := range e.Inputs {
+				inStr := flatString(iv)
+				if len(inStr) >= 4 && strings.Contains(outStr, inStr) {
+					counts[outName+"<-"+inName]++
+				}
+			}
+		}
+	}
+	var keys []string
+	for k, n := range counts {
+		if n == len(set) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var hints []string
+	for _, k := range keys {
+		parts := strings.SplitN(k, "<-", 2)
+		hints = append(hints, fmt.Sprintf("output %q always embeds the value of input %q", parts[0], parts[1]))
+	}
+	return hints
+}
+
+// constancyHints reports outputs identical across all examples.
+func constancyHints(set dataexample.Set) []string {
+	if len(set) < 2 {
+		return nil
+	}
+	var names []string
+	for name := range set[0].Outputs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var hints []string
+	for _, name := range names {
+		constant := true
+		first := set[0].Outputs[name]
+		for _, e := range set[1:] {
+			v, ok := e.Outputs[name]
+			if !ok || !v.Equal(first) {
+				constant = false
+				break
+			}
+		}
+		if constant {
+			hints = append(hints, fmt.Sprintf("output %q is identical for every example (input-independent?)", name))
+		}
+	}
+	return hints
+}
+
+// partitionHints reports whether the outputs vary across input partitions
+// — the polymorphic-module signal.
+func partitionHints(set dataexample.Set) []string {
+	byPartition := map[string]map[string]bool{} // partition key -> output keys
+	for _, e := range set {
+		pk := e.PartitionKey()
+		if pk == "" {
+			return nil
+		}
+		if byPartition[pk] == nil {
+			byPartition[pk] = map[string]bool{}
+		}
+		byPartition[pk][e.OutputKey()] = true
+	}
+	if len(byPartition) < 2 {
+		return nil
+	}
+	distinct := map[string]bool{}
+	for _, outs := range byPartition {
+		for o := range outs {
+			distinct[o] = true
+		}
+	}
+	if len(distinct) == len(byPartition) {
+		return []string{fmt.Sprintf("each of the %d input partitions produces a distinct output (partition-sensitive behaviour)", len(byPartition))}
+	}
+	if len(distinct) < len(byPartition) {
+		return []string{fmt.Sprintf("%d input partitions collapse to %d distinct outputs (identical behaviour on some partitions)", len(byPartition), len(distinct))}
+	}
+	return nil
+}
+
+// shapeHints reports simple output-shape observations.
+func shapeHints(set dataexample.Set) []string {
+	var names []string
+	for name := range set[0].Outputs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var hints []string
+	for _, name := range names {
+		switch v := set[0].Outputs[name].(type) {
+		case typesys.ListValue:
+			minL, maxL := -1, -1
+			for _, e := range set {
+				l, ok := e.Outputs[name].(typesys.ListValue)
+				if !ok {
+					minL = -1
+					break
+				}
+				n := len(l.Items)
+				if minL == -1 || n < minL {
+					minL = n
+				}
+				if n > maxL {
+					maxL = n
+				}
+			}
+			if minL >= 0 {
+				hints = append(hints, fmt.Sprintf("output %q is a list of %s", name, rangeStr(minL, maxL)))
+			}
+		case typesys.FloatValue:
+			lo, hi := float64(v), float64(v)
+			for _, e := range set {
+				f, ok := e.Outputs[name].(typesys.FloatValue)
+				if !ok {
+					continue
+				}
+				if float64(f) < lo {
+					lo = float64(f)
+				}
+				if float64(f) > hi {
+					hi = float64(f)
+				}
+			}
+			hints = append(hints, fmt.Sprintf("output %q is numeric in [%g, %g] over the examples", name, lo, hi))
+		case typesys.StringValue:
+			if strings.Contains(string(v), "\n") {
+				hints = append(hints, fmt.Sprintf("output %q is a multi-line record", name))
+			}
+		}
+	}
+	return hints
+}
+
+func rangeStr(lo, hi int) string {
+	if lo == hi {
+		return fmt.Sprintf("exactly %d items", lo)
+	}
+	return fmt.Sprintf("%d to %d items", lo, hi)
+}
+
+func flatString(v typesys.Value) string {
+	switch w := v.(type) {
+	case typesys.StringValue:
+		return string(w)
+	case typesys.ListValue:
+		var parts []string
+		for _, it := range w.Items {
+			parts = append(parts, flatString(it))
+		}
+		return strings.Join(parts, " ")
+	default:
+		return v.String()
+	}
+}

@@ -1,0 +1,130 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"dexa/internal/dataexample"
+	"dexa/internal/module"
+	"dexa/internal/simulation"
+	"dexa/internal/typesys"
+)
+
+func ex(partition, in, out string) dataexample.Example {
+	return dataexample.Example{
+		Inputs:          map[string]typesys.Value{"x": typesys.Str(in)},
+		Outputs:         map[string]typesys.Value{"y": typesys.Str(out)},
+		InputPartitions: map[string]string{"x": partition},
+	}
+}
+
+func TestBehaviourHintsEcho(t *testing.T) {
+	set := dataexample.Set{
+		ex("A", "ACGTACGT", "RECORD of ACGTACGT end"),
+		ex("B", "TTTTGGGG", "RECORD of TTTTGGGG end"),
+	}
+	hints := BehaviourHints(set)
+	joined := strings.Join(hints, "\n")
+	if !strings.Contains(joined, `output "y" always embeds the value of input "x"`) {
+		t.Errorf("echo hint missing: %v", hints)
+	}
+}
+
+func TestBehaviourHintsConstant(t *testing.T) {
+	set := dataexample.Set{
+		ex("A", "one", "SAME"),
+		ex("B", "two", "SAME"),
+	}
+	hints := BehaviourHints(set)
+	joined := strings.Join(hints, "\n")
+	if !strings.Contains(joined, "identical for every example") {
+		t.Errorf("constant hint missing: %v", hints)
+	}
+	// Constant output over 2 partitions also collapses partitions.
+	if !strings.Contains(joined, "collapse") {
+		t.Errorf("collapse hint missing: %v", hints)
+	}
+}
+
+func TestBehaviourHintsPartitionSensitive(t *testing.T) {
+	set := dataexample.Set{
+		ex("DNA", "ACGT", "OUT-dna"),
+		ex("RNA", "ACGU", "OUT-rna"),
+		ex("Prot", "MKTW", "OUT-prot"),
+	}
+	hints := BehaviourHints(set)
+	if !strings.Contains(strings.Join(hints, "\n"), "3 input partitions produces a distinct output") {
+		t.Errorf("partition hint missing: %v", hints)
+	}
+}
+
+func TestBehaviourHintsShapes(t *testing.T) {
+	mk := func(n int, f float64) dataexample.Example {
+		items := make([]typesys.Value, n)
+		for i := range items {
+			items[i] = typesys.Str("P00001")
+		}
+		return dataexample.Example{
+			Inputs: map[string]typesys.Value{"q": typesys.Str("longinput")},
+			Outputs: map[string]typesys.Value{
+				"hits":  typesys.MustList(typesys.StringType, items...),
+				"score": typesys.Floatv(f),
+				"rec":   typesys.Str("line1\nline2"),
+			},
+			InputPartitions: map[string]string{"q": "Q"},
+		}
+	}
+	hints := BehaviourHints(dataexample.Set{mk(2, 1.5), mk(5, 3.25)})
+	joined := strings.Join(hints, "\n")
+	for _, want := range []string{
+		`output "hits" is a list of 2 to 5 items`,
+		`output "score" is numeric in [1.5, 3.25]`,
+		`output "rec" is a multi-line record`,
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing hint %q in %v", want, hints)
+		}
+	}
+}
+
+func TestBehaviourHintsEmpty(t *testing.T) {
+	hints := BehaviourHints(nil)
+	if len(hints) != 1 || !strings.Contains(hints[0], "no data examples") {
+		t.Errorf("hints = %v", hints)
+	}
+}
+
+func TestCardOverUniverse(t *testing.T) {
+	u := simulation.NewUniverse()
+	e, _ := u.Catalog.Get("getRecordSummary")
+	set, rep, err := u.Gen.Generate(e.Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	card := Card(e.Module, set, rep)
+	for _, want := range []string{
+		"module getRecordSummary",
+		"kind: data retrieval",
+		"in  record",
+		"out summary",
+		"BiologicalRecord",
+		"data examples (15):",
+		"coverage: input 1.00",
+		"behaviour hints:",
+	} {
+		if !strings.Contains(card, want) {
+			t.Errorf("card missing %q:\n%s", want, card)
+		}
+	}
+	// Optional parameters render their defaults.
+	m := e.Module
+	withOpt := *m
+	withOpt.Inputs = append(append([]module.Parameter(nil), m.Inputs...), module.Parameter{
+		Name: "limit", Struct: typesys.IntType, Semantic: simulation.CThreshold,
+		Optional: true, Default: typesys.Intv(5),
+	})
+	card = Card(&withOpt, set, nil)
+	if !strings.Contains(card, "(optional, default 5)") {
+		t.Errorf("optional rendering missing:\n%s", card)
+	}
+}

@@ -1,0 +1,79 @@
+package instances
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"dexa/internal/ontology"
+	"dexa/internal/typesys"
+)
+
+// JSON persistence for instance pools, so a curated pool (seeds plus
+// provenance harvest) can be shipped alongside the registry. Classifiers
+// are code and are re-registered after Load.
+
+type wireInstance struct {
+	Concept string          `json:"concept"`
+	Value   json.RawMessage `json:"value"`
+	Source  string          `json:"source,omitempty"`
+}
+
+type wirePool struct {
+	Version   int            `json:"version"`
+	Ontology  string         `json:"ontology"`
+	Instances []wireInstance `json:"instances"`
+}
+
+const poolPersistVersion = 1
+
+// Save writes the pool's instances as JSON, ordered by concept then
+// insertion order.
+func (p *Pool) Save(w io.Writer) error {
+	p.mu.RLock()
+	concepts := make([]string, 0, len(p.byConcept))
+	for c := range p.byConcept {
+		concepts = append(concepts, c)
+	}
+	sort.Strings(concepts)
+	doc := wirePool{Version: poolPersistVersion, Ontology: p.ont.Name()}
+	for _, c := range concepts {
+		for _, in := range p.byConcept[c] {
+			data, err := typesys.MarshalValue(in.Value)
+			if err != nil {
+				p.mu.RUnlock()
+				return fmt.Errorf("instances: encoding instance of %s: %w", c, err)
+			}
+			doc.Instances = append(doc.Instances, wireInstance{Concept: c, Value: data, Source: in.Source})
+		}
+	}
+	p.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// Load reads a pool saved by Save, resolving concepts against the given
+// ontology. Instances whose concepts the ontology does not know are
+// rejected with an error (a pool is meaningless against the wrong
+// ontology).
+func Load(r io.Reader, ont *ontology.Ontology) (*Pool, error) {
+	var doc wirePool
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("instances: decoding: %w", err)
+	}
+	if doc.Version != poolPersistVersion {
+		return nil, fmt.Errorf("instances: unsupported version %d", doc.Version)
+	}
+	pool := NewPool(ont)
+	for i, wi := range doc.Instances {
+		v, err := typesys.UnmarshalValue(wi.Value)
+		if err != nil {
+			return nil, fmt.Errorf("instances: instance %d: %w", i, err)
+		}
+		if err := pool.Add(wi.Concept, v, wi.Source); err != nil {
+			return nil, err
+		}
+	}
+	return pool, nil
+}

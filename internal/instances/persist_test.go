@@ -1,0 +1,89 @@
+package instances
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dexa/internal/ontology"
+	"dexa/internal/typesys"
+)
+
+func TestPoolSaveLoadRoundTrip(t *testing.T) {
+	ont := testOntology(t)
+	p := NewPool(ont)
+	p.MustAdd("DNA", typesys.Str("ACGT"), "seed:1")
+	p.MustAdd("DNA", typesys.Str("TTTT"), "seed:2")
+	p.MustAdd("Protein", typesys.Str("MKTW"), "trace:wf1/s1")
+	p.MustAdd("Sequence", typesys.MustList(typesys.StringType, typesys.Str("a")), "odd-grounding")
+
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, ont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != p.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), p.Len())
+	}
+	// Insertion order (and hence realization indices) preserved per concept.
+	in, ok := got.Realization("DNA", typesys.StringType, 1)
+	if !ok || !in.Value.Equal(typesys.Str("TTTT")) {
+		t.Errorf("Realization(DNA, 1) = %v, %v", in, ok)
+	}
+	if in, _ := got.Realization("DNA", typesys.StringType, 0); in.Source != "seed:1" {
+		t.Errorf("source lost: %q", in.Source)
+	}
+	// Non-string groundings survive.
+	if n := got.RealizationCount("Sequence", typesys.ListOf(typesys.StringType)); n != 1 {
+		t.Errorf("list realization lost: %d", n)
+	}
+}
+
+func TestPoolLoadRejectsWrongOntology(t *testing.T) {
+	ont := testOntology(t)
+	p := NewPool(ont)
+	p.MustAdd("DNA", typesys.Str("ACGT"), "")
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tiny := ontology.New("tiny")
+	tiny.MustAddConcept("OnlyConcept", "")
+	if _, err := Load(bytes.NewReader(buf.Bytes()), tiny); err == nil {
+		t.Error("loading against an ontology without the concepts should fail")
+	}
+}
+
+func TestPoolLoadErrors(t *testing.T) {
+	ont := testOntology(t)
+	bad := []string{
+		`{`,
+		`{"version":9,"instances":[]}`,
+		`{"version":1,"instances":[{"concept":"DNA","value":{"kind":"??"}}]}`,
+	}
+	for i, s := range bad {
+		if _, err := Load(strings.NewReader(s), ont); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestPoolSaveDeterministic(t *testing.T) {
+	ont := testOntology(t)
+	p := NewPool(ont)
+	p.MustAdd("RNA", typesys.Str("ACGU"), "")
+	p.MustAdd("DNA", typesys.Str("ACGT"), "")
+	var a, b bytes.Buffer
+	if err := p.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("pool serialisation not deterministic")
+	}
+}

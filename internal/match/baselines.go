@@ -1,0 +1,83 @@
+package match
+
+import (
+	"sort"
+
+	"dexa/internal/dataexample"
+	"dexa/internal/module"
+	"dexa/internal/ontology"
+)
+
+// SignatureMatch implements the Paolucci-style baseline: a candidate
+// matches a target purely when a parameter mapping exists — the task the
+// modules fulfil is never checked. The paper's Example 4 shows why this is
+// too weak: several homology-search services share the GetHomologous
+// signature yet use different alignment algorithms and deliver different
+// results.
+func SignatureMatch(ont *ontology.Ontology, target, candidate *module.Module, mode Mode) bool {
+	_, ok := MapParameters(ont, target, candidate, mode)
+	return ok
+}
+
+// SignatureCandidates returns, in ID order, every candidate whose
+// signature maps onto the target's.
+func SignatureCandidates(ont *ontology.Ontology, target *module.Module, candidates []*module.Module, mode Mode) []*module.Module {
+	var out []*module.Module
+	for _, c := range candidates {
+		if c.ID == target.ID {
+			continue
+		}
+		if SignatureMatch(ont, target, c, mode) {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// TraceSimilarity implements the unprincipled provenance-trace baseline of
+// the authors' earlier work ([4] in the paper): given raw recorded
+// input/output pairs for two modules (no partition guidance, no aligned
+// value selection), it measures how similar the modules look — the
+// fraction of shared inputs that produced identical outputs, weighted by
+// how many inputs are shared at all. Traces rarely share inputs, which is
+// exactly the weakness the §6 method fixes by construction.
+type TraceSimilarity struct {
+	// SharedInputs is how many distinct input assignments occur in both
+	// trace sets.
+	SharedInputs int
+	// Agreeing is how many of the shared inputs produced equal outputs.
+	Agreeing int
+	// TargetInputs is the number of distinct inputs in the target's traces.
+	TargetInputs int
+}
+
+// Score is Agreeing over TargetInputs: the evidence the traces provide
+// that the candidate behaves like the target everywhere the target was
+// observed. Unshared inputs provide no evidence and drag the score down.
+func (s TraceSimilarity) Score() float64 {
+	if s.TargetInputs == 0 {
+		return 0
+	}
+	return float64(s.Agreeing) / float64(s.TargetInputs)
+}
+
+// CompareTraces computes trace similarity between two raw example sets
+// with identical parameter naming (the baseline has no mapping machinery;
+// the paper's earlier work compared same-schema provenance only).
+func CompareTraces(target, candidate dataexample.Set) TraceSimilarity {
+	tIdx := target.ByInputKey()
+	cIdx := candidate.ByInputKey()
+	sim := TraceSimilarity{TargetInputs: len(tIdx)}
+	for k, te := range tIdx {
+		ce, ok := cIdx[k]
+		if !ok {
+			continue
+		}
+		sim.SharedInputs++
+		if te.SameOutputs(ce) {
+			sim.Agreeing++
+		}
+	}
+	return sim
+}

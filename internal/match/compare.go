@@ -1,0 +1,215 @@
+package match
+
+import (
+	"fmt"
+
+	"dexa/internal/core"
+	"dexa/internal/dataexample"
+	"dexa/internal/module"
+	"dexa/internal/ontology"
+	"dexa/internal/typesys"
+)
+
+// Verdict is the outcome of a behaviour comparison (§6).
+type Verdict int
+
+const (
+	// Incomparable: no parameter mapping exists, or no examples aligned.
+	Incomparable Verdict = iota
+	// Disjoint: aligned examples all produced different outputs.
+	Disjoint
+	// Overlapping: some, but not all, aligned examples agreed.
+	Overlapping
+	// Equivalent: every aligned example agreed ("eventually equivalent").
+	Equivalent
+)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	switch v {
+	case Incomparable:
+		return "incomparable"
+	case Disjoint:
+		return "disjoint"
+	case Overlapping:
+		return "overlapping"
+	case Equivalent:
+		return "equivalent"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Result reports one behaviour comparison.
+type Result struct {
+	TargetID    string
+	CandidateID string
+	Verdict     Verdict
+	Mapping     Mapping
+	// Compared is the number of aligned example pairs; Agreeing how many of
+	// them produced identical outputs.
+	Compared int
+	Agreeing int
+	// AgreeingKeys lists the input keys of agreeing pairs (used by the
+	// contextual repair check).
+	AgreeingKeys map[string]bool
+}
+
+// Score is the agreement ratio (0 when nothing was compared).
+func (r Result) Score() float64 {
+	if r.Compared == 0 {
+		return 0
+	}
+	return float64(r.Agreeing) / float64(r.Compared)
+}
+
+func verdictFor(compared, agreeing int) Verdict {
+	switch {
+	case compared == 0:
+		return Incomparable
+	case agreeing == compared:
+		return Equivalent
+	case agreeing > 0:
+		return Overlapping
+	default:
+		return Disjoint
+	}
+}
+
+// Comparer compares module behaviour using data examples generated over a
+// shared ontology and instance pool.
+type Comparer struct {
+	Ont *ontology.Ontology
+	Gen *core.Generator
+	// Mode selects the parameter-mapping strictness (default ModeExact).
+	Mode Mode
+}
+
+// NewComparer builds a Comparer with exact mapping.
+func NewComparer(ont *ontology.Ontology, gen *core.Generator) *Comparer {
+	return &Comparer{Ont: ont, Gen: gen}
+}
+
+// Compare generates data examples for both live modules and classifies
+// their behaviour. Because both sets draw partition values from the same
+// pool deterministically, examples over mapped parameters with the same
+// semantic domain automatically share input values (§6: "we choose the
+// same value for both i and i′").
+func (c *Comparer) Compare(target, candidate *module.Module) (Result, error) {
+	mapping, ok := MapParameters(c.Ont, target, candidate, c.Mode)
+	if !ok {
+		return Result{TargetID: target.ID, CandidateID: candidate.ID, Verdict: Incomparable}, nil
+	}
+	tSet, _, err := c.Gen.Generate(target)
+	if err != nil {
+		return Result{}, fmt.Errorf("match: generating for target %s: %w", target.ID, err)
+	}
+	cSet, _, err := c.Gen.Generate(candidate)
+	if err != nil {
+		return Result{}, fmt.Errorf("match: generating for candidate %s: %w", candidate.ID, err)
+	}
+	return compareSets(target.ID, candidate.ID, tSet, cSet, mapping), nil
+}
+
+// compareSets aligns the two example sets through the mapping (map∆ of §6:
+// pairs with identical input values) and contrasts outputs.
+func compareSets(targetID, candidateID string, tSet, cSet dataexample.Set, mapping Mapping) Result {
+	res := Result{TargetID: targetID, CandidateID: candidateID, Mapping: mapping, AgreeingKeys: map[string]bool{}}
+	cIdx := make(map[string]dataexample.Example, len(cSet))
+	for _, e := range cSet {
+		cIdx[e.InputKey()] = e
+	}
+	for _, te := range tSet {
+		translated := translateInputs(te.Inputs, mapping.Inputs)
+		key := (dataexample.Example{Inputs: translated}).InputKey()
+		ce, ok := cIdx[key]
+		if !ok {
+			continue
+		}
+		res.Compared++
+		if outputsAgree(te.Outputs, ce.Outputs, mapping.Outputs) {
+			res.Agreeing++
+			res.AgreeingKeys[te.InputKey()] = true
+		}
+	}
+	res.Verdict = verdictFor(res.Compared, res.Agreeing)
+	return res
+}
+
+// CompareAgainstExamples compares a candidate module against the recorded
+// data examples of a (possibly unavailable) target module: the candidate is
+// invoked on each example's inputs and its outputs contrasted with the
+// recorded ones. This is the workflow-repair path of §6 — the target
+// cannot be invoked, but its examples survive in provenance. The target's
+// parameter signature must be supplied since the module itself is gone.
+func (c *Comparer) CompareAgainstExamples(targetSig *module.Module, targetSet dataexample.Set, candidate *module.Module) (Result, error) {
+	mapping, ok := MapParameters(c.Ont, targetSig, candidate, c.Mode)
+	if !ok {
+		return Result{TargetID: targetSig.ID, CandidateID: candidate.ID, Verdict: Incomparable}, nil
+	}
+	res := Result{TargetID: targetSig.ID, CandidateID: candidate.ID, Mapping: mapping, AgreeingKeys: map[string]bool{}}
+	for _, te := range targetSet {
+		inputs := translateInputs(te.Inputs, mapping.Inputs)
+		outs, err := candidate.Invoke(inputs)
+		res.Compared++
+		if err != nil {
+			if module.IsExecutionError(err) {
+				continue // abnormal termination: behaviours differ here
+			}
+			return Result{}, fmt.Errorf("match: invoking candidate %s: %w", candidate.ID, err)
+		}
+		if outputsAgree(te.Outputs, outs, mapping.Outputs) {
+			res.Agreeing++
+			res.AgreeingKeys[te.InputKey()] = true
+		}
+	}
+	res.Verdict = verdictFor(res.Compared, res.Agreeing)
+	return res, nil
+}
+
+// RestrictToContext filters a target example set to the examples whose
+// input partitions are subsumed by the given context concepts (parameter
+// name -> concept actually flowing at that point of the workflow). This is
+// the Figure-7 situation: an Overlapping candidate is a safe substitute
+// when it agrees on every example within the workflow's context.
+func RestrictToContext(ont *ontology.Ontology, set dataexample.Set, context map[string]string) dataexample.Set {
+	var out dataexample.Set
+	for _, e := range set {
+		ok := true
+		for param, concept := range context {
+			part, has := e.InputPartitions[param]
+			if !has || !ont.Subsumes(concept, part) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func translateInputs(inputs map[string]typesys.Value, m map[string]string) map[string]typesys.Value {
+	out := make(map[string]typesys.Value, len(inputs))
+	for name, v := range inputs {
+		if to, ok := m[name]; ok {
+			out[to] = v
+		}
+	}
+	return out
+}
+
+func outputsAgree(tOut, cOut map[string]typesys.Value, m map[string]string) bool {
+	for tName, cName := range m {
+		tv, ok1 := tOut[tName]
+		cv, ok2 := cOut[cName]
+		if ok1 != ok2 {
+			return false
+		}
+		if ok1 && !tv.Equal(cv) {
+			return false
+		}
+	}
+	return true
+}

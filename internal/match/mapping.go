@@ -1,0 +1,159 @@
+// Package match implements scientific-module comparison based on data
+// examples (paper §6).
+//
+// Two modules are comparable when a 1-to-1 mapping exists between their
+// inputs (and outputs) connecting parameters with compatible semantic
+// domains and structures. Their behaviour is then compared by aligning
+// data examples with identical input values — possible because example
+// generation draws values deterministically per (concept, grounding) from
+// the shared instance pool — and contrasting the outputs:
+//
+//   - Equivalent: every aligned pair produces the same outputs
+//     ("eventually equivalent" — the heuristic may miss corner behaviour).
+//   - Overlapping: some but not all pairs agree.
+//   - Disjoint: no pair agrees.
+//
+// The package also implements the relaxed, context-aware mapping of the
+// Figure-7 scenario (a substitute whose input concept strictly subsumes
+// the original's still behaves identically on the values that actually
+// flow in the workflow) and two baselines used by the ablation bench:
+// signature-only matching (Paolucci et al.) and unprincipled
+// provenance-trace matching (Belhajjame et al. 2011).
+package match
+
+import (
+	"fmt"
+
+	"dexa/internal/module"
+	"dexa/internal/ontology"
+)
+
+// Mode selects how strictly parameters must correspond.
+type Mode int
+
+const (
+	// ModeExact requires mapped parameters to have identical semantic
+	// concepts and identical structural types.
+	ModeExact Mode = iota
+	// ModeRelaxed additionally accepts a candidate input whose concept
+	// subsumes the target's (it accepts everything the target accepted) and
+	// a candidate output whose concept is related to the target's by
+	// subsumption in either direction. Structural types must still match.
+	ModeRelaxed
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeExact:
+		return "exact"
+	case ModeRelaxed:
+		return "relaxed"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Mapping is a 1-to-1 correspondence between the parameters of a target
+// module and a candidate module, keyed by target parameter name.
+type Mapping struct {
+	Inputs  map[string]string
+	Outputs map[string]string
+}
+
+// MapParameters finds a parameter mapping from target to candidate under
+// the given mode, or reports that none exists. Both sides must be mapped
+// completely (the paper requires a 1-to-1 mapping over all inputs and all
+// outputs). Optional candidate inputs that remain unmapped are allowed —
+// they fall back to their defaults.
+func MapParameters(ont *ontology.Ontology, target, candidate *module.Module, mode Mode) (Mapping, bool) {
+	inOK := func(t, c module.Parameter) bool {
+		if !t.Struct.Equal(c.Struct) {
+			return false
+		}
+		if mode == ModeExact {
+			return t.Semantic == c.Semantic
+		}
+		// Relaxed: the candidate must accept at least everything the target
+		// accepts.
+		return ont.Subsumes(c.Semantic, t.Semantic)
+	}
+	outOK := func(t, c module.Parameter) bool {
+		if !t.Struct.Equal(c.Struct) {
+			return false
+		}
+		if mode == ModeExact {
+			return t.Semantic == c.Semantic
+		}
+		return ont.Subsumes(c.Semantic, t.Semantic) || ont.Subsumes(t.Semantic, c.Semantic)
+	}
+	ins, ok := bijection(requiredInputs(target), candidate.Inputs, inOK, optionalSet(candidate))
+	if !ok {
+		return Mapping{}, false
+	}
+	outs, ok := bijection(target.Outputs, candidate.Outputs, outOK, nil)
+	if !ok {
+		return Mapping{}, false
+	}
+	return Mapping{Inputs: ins, Outputs: outs}, true
+}
+
+// requiredInputs returns the target inputs that must be mapped: all of
+// them. (Target optional inputs are part of its observable behaviour, so
+// they participate in the mapping too.)
+func requiredInputs(m *module.Module) []module.Parameter { return m.Inputs }
+
+func optionalSet(m *module.Module) map[string]bool {
+	opt := map[string]bool{}
+	for _, p := range m.Inputs {
+		if p.Optional {
+			opt[p.Name] = true
+		}
+	}
+	return opt
+}
+
+// bijection finds an injective mapping covering every parameter in `from`
+// onto distinct parameters in `to` satisfying ok. Parameters of `to` left
+// unmatched are permitted only when listed in skippable (optional
+// candidate inputs). Backtracking search — parameter lists are tiny.
+func bijection(from, to []module.Parameter, ok func(a, b module.Parameter) bool, skippable map[string]bool) (map[string]string, bool) {
+	if len(from) > len(to) {
+		return nil, false
+	}
+	used := make([]bool, len(to))
+	assign := make(map[string]string, len(from))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(from) {
+			// All target parameters mapped; any unmapped candidate parameter
+			// must be skippable.
+			for j, u := range used {
+				if !u && skippable != nil && !skippable[to[j].Name] {
+					return false
+				}
+				if !u && skippable == nil && len(from) != len(to) {
+					return false
+				}
+			}
+			return true
+		}
+		for j := range to {
+			if used[j] || !ok(from[i], to[j]) {
+				continue
+			}
+			used[j] = true
+			assign[from[i].Name] = to[j].Name
+			if rec(i + 1) {
+				return true
+			}
+			used[j] = false
+			delete(assign, from[i].Name)
+		}
+		return false
+	}
+	if !rec(0) {
+		return nil, false
+	}
+	return assign, true
+}

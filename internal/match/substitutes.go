@@ -1,0 +1,70 @@
+package match
+
+import (
+	"fmt"
+	"sort"
+
+	"dexa/internal/dataexample"
+	"dexa/internal/module"
+)
+
+// Unavailable describes a module that can no longer be invoked: its
+// parameter signature (from the registry) and the data examples
+// reconstructed from provenance traces.
+type Unavailable struct {
+	Signature *module.Module
+	Examples  dataexample.Set
+}
+
+// Candidate pairs a substitute candidate with its comparison result.
+type Candidate struct {
+	Module *module.Module
+	Result Result
+}
+
+// FindSubstitutes ranks the available modules that can play the role of
+// the unavailable one: Equivalent candidates first, then Overlapping by
+// descending agreement score, ties broken by module ID for determinism.
+// Disjoint and Incomparable candidates are excluded.
+func (c *Comparer) FindSubstitutes(target Unavailable, available []*module.Module) ([]Candidate, error) {
+	if target.Signature == nil {
+		return nil, fmt.Errorf("match: unavailable module has no signature")
+	}
+	if len(target.Examples) == 0 {
+		return nil, fmt.Errorf("match: unavailable module %s has no data examples", target.Signature.ID)
+	}
+	var out []Candidate
+	for _, cand := range available {
+		if cand.ID == target.Signature.ID {
+			continue
+		}
+		res, err := c.CompareAgainstExamples(target.Signature, target.Examples, cand)
+		if err != nil {
+			return nil, err
+		}
+		if res.Verdict == Equivalent || res.Verdict == Overlapping {
+			out = append(out, Candidate{Module: cand, Result: res})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Result.Verdict != b.Result.Verdict {
+			return a.Result.Verdict > b.Result.Verdict
+		}
+		if a.Result.Score() != b.Result.Score() {
+			return a.Result.Score() > b.Result.Score()
+		}
+		return a.Module.ID < b.Module.ID
+	})
+	return out, nil
+}
+
+// BestSubstitute returns the top-ranked substitute, or nil when none
+// qualifies.
+func (c *Comparer) BestSubstitute(target Unavailable, available []*module.Module) (*Candidate, error) {
+	cands, err := c.FindSubstitutes(target, available)
+	if err != nil || len(cands) == 0 {
+		return nil, err
+	}
+	return &cands[0], nil
+}

@@ -1,0 +1,276 @@
+package ontology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Subsumes reports whether sup ⊒ sub, i.e. sub is sup itself or a
+// (transitive) subconcept of sup. Unknown concepts never subsume or get
+// subsumed.
+func (o *Ontology) Subsumes(supID, subID string) bool {
+	sub, ok := o.concepts[subID]
+	if !ok || !o.Has(supID) {
+		return false
+	}
+	if supID == subID {
+		return true
+	}
+	// Walk up from sub.
+	seen := map[*Concept]bool{sub: true}
+	stack := []*Concept{sub}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range c.parents {
+			if p.ID == supID {
+				return true
+			}
+			if !seen[p] {
+				seen[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return false
+}
+
+// StrictlySubsumes reports sup ⊐ sub (subsumption excluding equality).
+func (o *Ontology) StrictlySubsumes(supID, subID string) bool {
+	return supID != subID && o.Subsumes(supID, subID)
+}
+
+// Descendants returns the IDs of all strict subconcepts of id in sorted
+// order. It returns nil for an unknown concept.
+func (o *Ontology) Descendants(id string) []string {
+	c, ok := o.concepts[id]
+	if !ok {
+		return nil
+	}
+	seen := map[*Concept]bool{}
+	var walk func(*Concept)
+	walk = func(c *Concept) {
+		for _, ch := range c.children {
+			if !seen[ch] {
+				seen[ch] = true
+				walk(ch)
+			}
+		}
+	}
+	walk(c)
+	ids := make([]string, 0, len(seen))
+	for d := range seen {
+		ids = append(ids, d.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Ancestors returns the IDs of all strict superconcepts of id in sorted
+// order. It returns nil for an unknown concept.
+func (o *Ontology) Ancestors(id string) []string {
+	c, ok := o.concepts[id]
+	if !ok {
+		return nil
+	}
+	seen := map[*Concept]bool{}
+	var walk func(*Concept)
+	walk = func(c *Concept) {
+		for _, p := range c.parents {
+			if !seen[p] {
+				seen[p] = true
+				walk(p)
+			}
+		}
+	}
+	walk(c)
+	ids := make([]string, 0, len(seen))
+	for a := range seen {
+		ids = append(ids, a.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Depth returns the length of the shortest parent chain from id to any
+// root, or -1 for an unknown concept. Roots have depth 0.
+func (o *Ontology) Depth(id string) int {
+	c, ok := o.concepts[id]
+	if !ok {
+		return -1
+	}
+	depth := 0
+	frontier := []*Concept{c}
+	seen := map[*Concept]bool{c: true}
+	for len(frontier) > 0 {
+		var next []*Concept
+		for _, n := range frontier {
+			if len(n.parents) == 0 {
+				return depth
+			}
+			for _, p := range n.parents {
+				if !seen[p] {
+					seen[p] = true
+					next = append(next, p)
+				}
+			}
+		}
+		frontier = next
+		depth++
+	}
+	return depth // unreachable in an acyclic ontology
+}
+
+// LeastCommonAncestors returns the set of minimal common superconcepts of a
+// and b (there may be several in a DAG), sorted. A concept is its own
+// ancestor for this purpose, so LCA(c, c) = {c}. It returns nil if either
+// concept is unknown or no common ancestor exists.
+func (o *Ontology) LeastCommonAncestors(aID, bID string) []string {
+	if !o.Has(aID) || !o.Has(bID) {
+		return nil
+	}
+	up := func(id string) map[string]bool {
+		s := map[string]bool{id: true}
+		for _, a := range o.Ancestors(id) {
+			s[a] = true
+		}
+		return s
+	}
+	common := []string{}
+	bUp := up(bID)
+	for id := range up(aID) {
+		if bUp[id] {
+			common = append(common, id)
+		}
+	}
+	// Keep only the minimal elements: drop any common ancestor that strictly
+	// subsumes another common ancestor.
+	minimal := common[:0]
+	for _, c := range common {
+		isMin := true
+		for _, d := range common {
+			if c != d && o.StrictlySubsumes(c, d) {
+				isMin = false
+				break
+			}
+		}
+		if isMin {
+			minimal = append(minimal, c)
+		}
+	}
+	sort.Strings(minimal)
+	if len(minimal) == 0 {
+		return nil
+	}
+	return minimal
+}
+
+// Partitions returns the equivalence partitions induced by annotating a
+// parameter with the concept id: one partition per non-abstract concept in
+// {id} ∪ descendants(id), in sorted order (paper §3.1/§3.2). Abstract
+// concepts are excluded because they admit no realization; their domains
+// are represented by the partitions of their subconcepts. It returns an
+// error for an unknown concept.
+func (o *Ontology) Partitions(id string) ([]string, error) {
+	c, ok := o.concepts[id]
+	if !ok {
+		return nil, fmt.Errorf("ontology %s: unknown concept %q", o.name, id)
+	}
+	var parts []string
+	if !c.Abstract {
+		parts = append(parts, id)
+	}
+	for _, d := range o.Descendants(id) {
+		dc := o.concepts[d]
+		if !dc.Abstract {
+			parts = append(parts, d)
+		}
+	}
+	sort.Strings(parts)
+	return parts, nil
+}
+
+// LeafPartitions returns only the leaf concepts under id (including id
+// itself when it is a leaf), sorted. This is the alternative partitioning
+// strategy evaluated by the ablation bench: it ignores realizations of
+// inner concepts.
+func (o *Ontology) LeafPartitions(id string) ([]string, error) {
+	if !o.Has(id) {
+		return nil, fmt.Errorf("ontology %s: unknown concept %q", o.name, id)
+	}
+	var parts []string
+	if o.IsLeaf(id) {
+		parts = append(parts, id)
+	}
+	for _, d := range o.Descendants(id) {
+		if o.IsLeaf(d) {
+			parts = append(parts, d)
+		}
+	}
+	sort.Strings(parts)
+	return parts, nil
+}
+
+// MostSpecific returns, from the given concept IDs, those that are not
+// strict superconcepts of any other member, sorted. Used when classifying a
+// value that is an instance of several concepts.
+func (o *Ontology) MostSpecific(ids []string) []string {
+	var out []string
+	for _, c := range ids {
+		if !o.Has(c) {
+			continue
+		}
+		specific := true
+		for _, d := range ids {
+			if c != d && o.StrictlySubsumes(c, d) {
+				specific = false
+				break
+			}
+		}
+		if specific {
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks structural invariants: every non-root concept reaches a
+// root, and the graph is acyclic (guaranteed by construction, re-verified
+// here for ontologies assembled from parsed files).
+func (o *Ontology) Validate() error {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[*Concept]int, len(o.concepts))
+	var visit func(c *Concept) error
+	visit = func(c *Concept) error {
+		switch color[c] {
+		case grey:
+			return fmt.Errorf("ontology %s: cycle through concept %q", o.name, c.ID)
+		case black:
+			return nil
+		}
+		color[c] = grey
+		for _, ch := range c.children {
+			if err := visit(ch); err != nil {
+				return err
+			}
+		}
+		color[c] = black
+		return nil
+	}
+	for _, id := range o.Roots() {
+		if err := visit(o.concepts[id]); err != nil {
+			return err
+		}
+	}
+	for id, c := range o.concepts {
+		if color[c] != black {
+			return fmt.Errorf("ontology %s: concept %q unreachable from any root", o.name, id)
+		}
+	}
+	return nil
+}

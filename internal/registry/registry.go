@@ -1,0 +1,221 @@
+// Package registry implements the scientific-module registry at the heart
+// of the system architecture (Figure 3): it stores module signatures with
+// their parameter annotations, the data examples generated to characterise
+// them, and availability status (third-party providers may stop supplying
+// a module at any time — the workflow-decay problem of §6).
+//
+// The registry is safe for concurrent use and persists to JSON. Executors
+// are process-local and never serialised; after Load, callers rebind
+// executors through a Binder.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"dexa/internal/dataexample"
+	"dexa/internal/module"
+)
+
+// Entry is one registered module with its annotation artefacts.
+type Entry struct {
+	Module   *module.Module
+	Examples dataexample.Set
+	// Available reports whether the module can currently be invoked.
+	// Unavailable modules keep their signature and examples — that is what
+	// makes data-example-based substitution possible.
+	Available bool
+}
+
+// Registry stores module entries keyed by module ID.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{entries: make(map[string]*Entry)}
+}
+
+// Register validates and adds a module, initially available. It rejects
+// duplicates.
+func (r *Registry) Register(m *module.Module) error {
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[m.ID]; dup {
+		return fmt.Errorf("registry: duplicate module %q", m.ID)
+	}
+	r.entries[m.ID] = &Entry{Module: m, Available: true}
+	return nil
+}
+
+// MustRegister is Register but panics on error.
+func (r *Registry) MustRegister(m *module.Module) {
+	if err := r.Register(m); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the entry for the given module ID.
+func (r *Registry) Get(id string) (*Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[id]
+	return e, ok
+}
+
+// Len returns the number of registered modules.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// IDs returns all module IDs, sorted.
+func (r *Registry) IDs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := make([]string, 0, len(r.entries))
+	for id := range r.entries {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Modules returns all registered modules in ID order.
+func (r *Registry) Modules() []*module.Module {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*module.Module, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e.Module)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Available returns the modules currently available for invocation, in ID
+// order.
+func (r *Registry) Available() []*module.Module { return r.filter(true) }
+
+// UnavailableIDs returns the IDs of modules whose providers stopped
+// supplying them, sorted.
+func (r *Registry) UnavailableIDs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var ids []string
+	for id, e := range r.entries {
+		if !e.Available {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func (r *Registry) filter(avail bool) []*module.Module {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*module.Module
+	for _, e := range r.entries {
+		if e.Available == avail {
+			out = append(out, e.Module)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SetExamples stores the data examples annotating the module.
+func (r *Registry) SetExamples(id string, set dataexample.Set) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	if !ok {
+		return fmt.Errorf("registry: unknown module %q", id)
+	}
+	e.Examples = set
+	return nil
+}
+
+// Examples returns the stored data examples for the module.
+func (r *Registry) Examples(id string) (dataexample.Set, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[id]
+	if !ok {
+		return nil, false
+	}
+	return e.Examples, true
+}
+
+// SetAvailable flips the availability of one module.
+func (r *Registry) SetAvailable(id string, avail bool) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	if !ok {
+		return fmt.Errorf("registry: unknown module %q", id)
+	}
+	e.Available = avail
+	return nil
+}
+
+// RetireProvider marks every module of the given provider unavailable and
+// returns how many were affected. This models a third party interrupting
+// its supply (e.g. the KEGG SOAP services in §6).
+func (r *Registry) RetireProvider(provider string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.entries {
+		if e.Module.Provider == provider && e.Available {
+			e.Available = false
+			n++
+		}
+	}
+	return n
+}
+
+// ByKind returns the available-or-not modules of the given kind, ID order.
+func (r *Registry) ByKind(k module.Kind) []*module.Module {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*module.Module
+	for _, e := range r.entries {
+		if e.Module.Kind == k {
+			out = append(out, e.Module)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Search returns modules whose ID, name or description contains the query
+// (case-insensitive), in ID order. An empty query matches nothing.
+func (r *Registry) Search(query string) []*module.Module {
+	if query == "" {
+		return nil
+	}
+	q := strings.ToLower(query)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*module.Module
+	for _, e := range r.entries {
+		m := e.Module
+		if strings.Contains(strings.ToLower(m.ID), q) ||
+			strings.Contains(strings.ToLower(m.Name), q) ||
+			strings.Contains(strings.ToLower(m.Description), q) {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

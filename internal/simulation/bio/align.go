@@ -1,0 +1,131 @@
+package bio
+
+// Sequence alignment algorithms. The paper's Example 4 hinges on the fact
+// that candidate homology-search services "use different alignment
+// algorithms and therefore deliver different results from the module used
+// initially" — so the simulation implements three genuinely different
+// algorithms whose rankings disagree, and task-identical modules built on
+// different algorithms end up behaviourally distinguishable exactly as in
+// the paper.
+
+// AlignScores configures match/mismatch/gap scoring.
+type AlignScores struct {
+	Match    int
+	Mismatch int
+	Gap      int
+}
+
+// DefaultScores is the scoring used by the catalog's alignment services.
+var DefaultScores = AlignScores{Match: 2, Mismatch: -1, Gap: -2}
+
+// NeedlemanWunsch returns the global alignment score of a and b.
+func NeedlemanWunsch(a, b string, s AlignScores) int {
+	n, m := len(a), len(b)
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = j * s.Gap
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = i * s.Gap
+		for j := 1; j <= m; j++ {
+			diag := prev[j-1] + s.Mismatch
+			if a[i-1] == b[j-1] {
+				diag = prev[j-1] + s.Match
+			}
+			best := diag
+			if up := prev[j] + s.Gap; up > best {
+				best = up
+			}
+			if left := cur[j-1] + s.Gap; left > best {
+				best = left
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// SmithWaterman returns the local alignment score of a and b (always >= 0).
+func SmithWaterman(a, b string, s AlignScores) int {
+	n, m := len(a), len(b)
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	best := 0
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			diag := prev[j-1] + s.Mismatch
+			if a[i-1] == b[j-1] {
+				diag = prev[j-1] + s.Match
+			}
+			v := diag
+			if up := prev[j] + s.Gap; up > v {
+				v = up
+			}
+			if left := cur[j-1] + s.Gap; left > v {
+				v = left
+			}
+			if v < 0 {
+				v = 0
+			}
+			cur[j] = v
+			if v > best {
+				best = v
+			}
+		}
+		prev, cur = cur, prev
+		for j := range cur {
+			cur[j] = 0
+		}
+	}
+	return best
+}
+
+// KmerSimilarity returns the number of shared k-mers between a and b
+// (multiset intersection) — a fast heuristic ranking that disagrees with
+// the exact algorithms on near ties.
+func KmerSimilarity(a, b string, k int) int {
+	if k <= 0 || len(a) < k || len(b) < k {
+		return 0
+	}
+	counts := map[string]int{}
+	for i := 0; i+k <= len(a); i++ {
+		counts[a[i:i+k]]++
+	}
+	shared := 0
+	for i := 0; i+k <= len(b); i++ {
+		if counts[b[i:i+k]] > 0 {
+			counts[b[i:i+k]]--
+			shared++
+		}
+	}
+	return shared
+}
+
+// Algorithm names accepted by Score and the homology-search modules.
+const (
+	AlgoNeedlemanWunsch = "needleman-wunsch"
+	AlgoSmithWaterman   = "smith-waterman"
+	AlgoKmer            = "kmer"
+)
+
+// Algorithms lists the supported alignment algorithm names.
+func Algorithms() []string {
+	return []string{AlgoNeedlemanWunsch, AlgoSmithWaterman, AlgoKmer}
+}
+
+// Score aligns a and b with the named algorithm using DefaultScores
+// (k=3 for kmer). Unknown algorithms score 0 and report false.
+func Score(algo, a, b string) (int, bool) {
+	switch algo {
+	case AlgoNeedlemanWunsch:
+		return NeedlemanWunsch(a, b, DefaultScores), true
+	case AlgoSmithWaterman:
+		return SmithWaterman(a, b, DefaultScores), true
+	case AlgoKmer:
+		return KmerSimilarity(a, b, 3), true
+	default:
+		return 0, false
+	}
+}

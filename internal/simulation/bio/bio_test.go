@@ -1,0 +1,457 @@
+package bio
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccessionFormats(t *testing.T) {
+	cases := []struct {
+		gen   func(int) string
+		check func(string) bool
+		kind  string
+	}{
+		{UniprotAccession, IsUniprotAccession, "uniprot"},
+		{PIRAccession, IsPIRAccession, "pir"},
+		{GenBankAccession, IsGenBankAccession, "genbank"},
+		{EMBLAccession, IsEMBLAccession, "embl"},
+		{PDBAccession, IsPDBAccession, "pdb"},
+		{GOTerm, IsGOTerm, "go"},
+		{KEGGCompoundID, IsKEGGCompoundID, "kegg-compound"},
+		{KEGGGeneID, IsKEGGGeneID, "kegg-gene"},
+		{KEGGPathwayID, IsKEGGPathwayID, "kegg-pathway"},
+		{EnzymeID, IsEnzymeID, "enzyme"},
+		{GlycanID, IsGlycanID, "glycan"},
+		{LigandID, IsLigandID, "ligand"},
+	}
+	for _, c := range cases {
+		for i := 0; i < 50; i++ {
+			acc := c.gen(i)
+			if !c.check(acc) {
+				t.Errorf("%s: generated %q fails its own validator", c.kind, acc)
+			}
+			if got := ClassifyAccession(acc); got != c.kind {
+				t.Errorf("ClassifyAccession(%q) = %q, want %q", acc, got, c.kind)
+			}
+			if acc != c.gen(i) {
+				t.Errorf("%s: generation not deterministic for %d", c.kind, i)
+			}
+		}
+	}
+	if ClassifyAccession("???") != "" {
+		t.Error("junk should classify to empty")
+	}
+	if got := ClassifyAccession(GeneName(7)); got != "gene" {
+		t.Errorf("gene name classified as %q", got)
+	}
+	if UniprotAccession(-3) != UniprotAccession(3) {
+		t.Error("negative index normalisation")
+	}
+}
+
+func TestSequencesDeterministicAndTyped(t *testing.T) {
+	for i := 0; i < 40; i++ {
+		dna := DNASequence(i)
+		if !IsDNA(dna) {
+			t.Fatalf("DNASequence(%d) = %q not DNA", i, dna)
+		}
+		if len(dna)%3 != 0 {
+			t.Errorf("DNA length %d not a codon multiple", len(dna))
+		}
+		if dna != DNASequence(i) {
+			t.Error("DNA generation not deterministic")
+		}
+		rna := RNASequence(i)
+		if strings.Contains(rna, "T") {
+			t.Errorf("RNA contains T: %q", rna)
+		}
+		if ReverseTranscribe(rna) != dna {
+			t.Error("transcription round trip failed")
+		}
+	}
+}
+
+func TestClassifySequence(t *testing.T) {
+	cases := map[string]string{
+		"ACGTACGT": "dna",
+		"ACGUACGU": "rna",
+		"MKTWYENP": "protein",
+		"":         "",
+		"XXXX1":    "",
+		"ACG":      "dna", // no U: treated as DNA
+	}
+	for in, want := range cases {
+		if got := ClassifySequence(in); got != want {
+			t.Errorf("ClassifySequence(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestComplementAndReverseComplement(t *testing.T) {
+	if Complement("ACGT") != "TGCA" {
+		t.Errorf("Complement = %q", Complement("ACGT"))
+	}
+	if ReverseComplement("ACGT") != "ACGT" {
+		t.Errorf("ReverseComplement(ACGT) = %q", ReverseComplement("ACGT"))
+	}
+	if ReverseComplement("AAC") != "GTT" {
+		t.Errorf("ReverseComplement(AAC) = %q", ReverseComplement("AAC"))
+	}
+	// Property: reverse complement is an involution.
+	r := rand.New(rand.NewSource(2))
+	f := func() bool {
+		s := genSeq(dnaAlphabet, r.Uint64(), 3*(1+r.Intn(30)))
+		return ReverseComplement(ReverseComplement(s)) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	// AUG GCC UAA -> M A (stop).
+	if got := Translate("AUGGCCUAAUUU"); got != "MA" {
+		t.Errorf("Translate = %q", got)
+	}
+	// Partial trailing codon ignored.
+	if got := Translate("AUGGC"); got != "M" {
+		t.Errorf("Translate partial = %q", got)
+	}
+	if Translate("") != "" {
+		t.Error("empty translate")
+	}
+	// Unknown codon stops translation.
+	if got := Translate("AUGXYZ"); got != "M" {
+		t.Errorf("Translate unknown codon = %q", got)
+	}
+	// All 61 coding codons are present in the table.
+	stops := 0
+	for _, aa := range codonTable {
+		if aa == '*' {
+			stops++
+		}
+	}
+	if len(codonTable) != 64 || stops != 3 {
+		t.Errorf("codon table has %d entries, %d stops", len(codonTable), stops)
+	}
+}
+
+func TestGCContent(t *testing.T) {
+	if GCContent("") != 0 {
+		t.Error("empty GC")
+	}
+	if GCContent("GGCC") != 1 {
+		t.Error("all GC")
+	}
+	if GCContent("AATT") != 0 {
+		t.Error("no GC")
+	}
+	if GCContent("ACGT") != 0.5 {
+		t.Error("half GC")
+	}
+}
+
+func TestMolecularWeightAndPeptides(t *testing.T) {
+	if MolecularWeight("") != 0 {
+		t.Error("empty weight")
+	}
+	// Glycine: 57.02146 + water 18.01056 = 75.03202.
+	if w := MolecularWeight("G"); w < 75.031 || w > 75.033 {
+		t.Errorf("G weight = %v", w)
+	}
+	// Tryptic digestion: cuts after K/R except before P.
+	peps := TrypticPeptides("MKTAYIAKQRQISFVKPSH")
+	want := []string{"MK", "TAYIAK", "QR", "QISFVKPSH"}
+	if len(peps) != len(want) {
+		t.Fatalf("peptides = %v", peps)
+	}
+	for i := range want {
+		if peps[i] != want[i] {
+			t.Errorf("peptide %d = %q, want %q", i, peps[i], want[i])
+		}
+	}
+	masses := PeptideMasses("MKTAYIAK")
+	if len(masses) != 2 || masses[0] <= 0 {
+		t.Errorf("masses = %v", masses)
+	}
+}
+
+func TestRecordFormatsRecognisedAndClassified(t *testing.T) {
+	db := NewDatabase(30)
+	e, _ := db.ByIndex(7)
+	cases := []struct {
+		text string
+		kind string
+	}{
+		{UniprotRecord(e), "uniprot"},
+		{FastaRecord(e), "fasta"},
+		{GenBankRecord(e), "genbank"},
+		{EMBLRecord(e), "embl"},
+		{PDBRecord(e), "pdb"},
+		{GlycanRecord(e), "glycan"},
+		{LigandRecord(e), "ligand"},
+		{PathwayRecord(e), "pathway"},
+		{EnzymeRecord(e), "enzyme"},
+		{PIRRecord(e), "pir"},
+		{GenPeptRecord(e), "genpept"},
+		{DDBJRecord(e), "ddbj"},
+		{CompoundRecord(e), "compound"},
+		{DrugRecord(e), "drug"},
+		{ReactionRecord(e), "reaction"},
+	}
+	for _, c := range cases {
+		if got := ClassifyRecord(c.text); got != c.kind {
+			t.Errorf("ClassifyRecord(%s...) = %q, want %q", c.text[:20], got, c.kind)
+		}
+	}
+	if ClassifyRecord("nothing in particular") != "" {
+		t.Error("junk record classified")
+	}
+}
+
+func TestGenericSequenceClassifiesAsNothing(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		s := GenericSequence(i)
+		if ClassifySequence(s) != "" {
+			t.Errorf("GenericSequence(%d) = %q classifies as %q", i, s, ClassifySequence(s))
+		}
+		if s != GenericSequence(i) {
+			t.Error("not deterministic")
+		}
+	}
+}
+
+func TestUniprotRecordParse(t *testing.T) {
+	db := NewDatabase(10)
+	e, _ := db.ByIndex(3)
+	rec := UniprotRecord(e)
+	acc, seq, err := ParseUniprotRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != e.Accession {
+		t.Errorf("acc = %q, want %q", acc, e.Accession)
+	}
+	if seq != e.Protein {
+		t.Errorf("seq = %q, want %q", seq, e.Protein)
+	}
+	if _, _, err := ParseUniprotRecord("garbage"); err == nil {
+		t.Error("garbage should fail")
+	}
+}
+
+func TestFastaParse(t *testing.T) {
+	db := NewDatabase(10)
+	e, _ := db.ByIndex(4)
+	header, seq, err := ParseFasta(FastaRecord(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(header, e.Accession) {
+		t.Errorf("header = %q", header)
+	}
+	if seq != e.Protein {
+		t.Errorf("seq mismatch")
+	}
+	if _, _, err := ParseFasta("no fasta"); err == nil {
+		t.Error("garbage should fail")
+	}
+}
+
+func TestDatabaseLookups(t *testing.T) {
+	db := NewDatabase(60)
+	if db.Len() != 60 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	e, ok := db.ByIndex(11)
+	if !ok {
+		t.Fatal("ByIndex failed")
+	}
+	if _, ok := db.ByIndex(-1); ok {
+		t.Error("negative index")
+	}
+	if _, ok := db.ByIndex(60); ok {
+		t.Error("out of range index")
+	}
+	if got, ok := db.ByUniprot(e.Accession); !ok || got.Index != 11 {
+		t.Error("ByUniprot failed")
+	}
+	if got, ok := db.ByPIR(PIRAccession(11)); !ok || got.Index != 11 {
+		t.Error("ByPIR failed")
+	}
+	if got, ok := db.ByGenBank(GenBankAccession(11)); !ok || got.Index != 11 {
+		t.Error("ByGenBank failed")
+	}
+	if got, ok := db.ByPDB(PDBAccession(11)); !ok || got.Index != 11 {
+		t.Error("ByPDB failed")
+	}
+	if got, ok := db.ByKEGGGene(KEGGGeneID(11)); !ok || got.Index != 11 {
+		t.Error("ByKEGGGene failed")
+	}
+	if got, ok := db.ByGeneName(e.GeneName); !ok || got.GeneName != e.GeneName {
+		t.Error("ByGeneName failed")
+	}
+	if _, ok := db.ByUniprot("P99999"); ok {
+		t.Error("unknown accession found")
+	}
+	// ByAnyAccession dispatch.
+	for _, acc := range []string{e.Accession, GenBankAccession(11), PDBAccession(11), GlycanID(11), LigandID(11)} {
+		if got, ok := db.ByAnyAccession(acc); !ok || got.Index != 11 {
+			t.Errorf("ByAnyAccession(%q) failed", acc)
+		}
+	}
+	if _, ok := db.ByAnyAccession("junk!"); ok {
+		t.Error("junk accession found")
+	}
+}
+
+func TestPathwayAndEnzymeQueries(t *testing.T) {
+	db := NewDatabase(100)
+	e, _ := db.ByIndex(5)
+	inPath := db.EntriesInPathway(e.Pathway)
+	if len(inPath) == 0 {
+		t.Fatal("no entries in pathway")
+	}
+	for _, p := range inPath {
+		if p.Pathway != e.Pathway {
+			t.Error("wrong pathway member")
+		}
+	}
+	genes := db.GenesByEnzyme(e.Enzyme)
+	if len(genes) == 0 {
+		t.Fatal("no genes by enzyme")
+	}
+	if db.GenesByEnzyme("EC 9.9.9.9") != nil {
+		t.Error("unknown enzyme should give nothing")
+	}
+}
+
+func TestHomology(t *testing.T) {
+	db := NewDatabase(120)
+	e, _ := db.ByIndex(3)
+	homs := db.Homologs(e)
+	if len(homs) == 0 {
+		t.Fatal("entry should have homologs")
+	}
+	for _, acc := range homs {
+		h, ok := db.ByUniprot(acc)
+		if !ok || db.Family(h.Index) != db.Family(3) || h.Index == 3 {
+			t.Errorf("bad homolog %s", acc)
+		}
+	}
+
+	// Homology search with an exact query must rank the entry itself at the
+	// maximal score (family members may tie when the protein lies entirely
+	// within the family-common region).
+	hits := db.HomologySearch(e.Protein, AlgoSmithWaterman, 5)
+	if len(hits) != 5 {
+		t.Fatalf("hits = %v", hits)
+	}
+	selfScore := -1
+	for _, h := range hits {
+		if h.Accession == e.Accession {
+			selfScore = h.Score
+		}
+	}
+	if selfScore < 0 || selfScore != hits[0].Score {
+		t.Errorf("self hit not at max score: hits=%v", hits)
+	}
+	// Different algorithms produce different rankings for at least some
+	// queries (the Example-4 phenomenon).
+	differs := false
+	for i := 0; i < 10 && !differs; i++ {
+		q, _ := db.ByIndex(i)
+		a := db.HomologySearch(q.Protein, AlgoNeedlemanWunsch, 8)
+		b := db.HomologySearch(q.Protein, AlgoKmer, 8)
+		for j := range a {
+			if a[j].Accession != b[j].Accession {
+				differs = true
+				break
+			}
+		}
+	}
+	if !differs {
+		t.Error("alignment algorithms never disagree — Example 4 would be unreproducible")
+	}
+	if db.HomologySearch("MKT", "warp-drive", 3) != nil {
+		t.Error("unknown algorithm should return nil")
+	}
+	if db.HomologySearch("MKT", AlgoKmer, 0) != nil {
+		t.Error("k=0 should return nil")
+	}
+}
+
+func TestAlignmentAlgorithms(t *testing.T) {
+	s := DefaultScores
+	if NeedlemanWunsch("ACGT", "ACGT", s) != 8 {
+		t.Errorf("NW self = %d", NeedlemanWunsch("ACGT", "ACGT", s))
+	}
+	if NeedlemanWunsch("", "ACGT", s) != 4*s.Gap {
+		t.Error("NW empty vs seq")
+	}
+	if SmithWaterman("ACGT", "ACGT", s) != 8 {
+		t.Error("SW self")
+	}
+	if SmithWaterman("AAAA", "TTTT", s) != 0 {
+		t.Error("SW disjoint should be 0")
+	}
+	if KmerSimilarity("ACGTACGT", "ACGTACGT", 3) != 6 {
+		t.Errorf("kmer self = %d", KmerSimilarity("ACGTACGT", "ACGTACGT", 3))
+	}
+	if KmerSimilarity("AC", "AC", 3) != 0 {
+		t.Error("kmer short strings")
+	}
+	// Properties: symmetry of scores.
+	r := rand.New(rand.NewSource(8))
+	f := func() bool {
+		a := genSeq(dnaAlphabet, r.Uint64(), 5+r.Intn(20))
+		b := genSeq(dnaAlphabet, r.Uint64(), 5+r.Intn(20))
+		return NeedlemanWunsch(a, b, s) == NeedlemanWunsch(b, a, s) &&
+			SmithWaterman(a, b, s) == SmithWaterman(b, a, s) &&
+			SmithWaterman(a, b, s) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	// SW >= NW restricted relationship: local alignment never scores below
+	// the best of 0 and the global score.
+	g := func() bool {
+		a := genSeq(dnaAlphabet, r.Uint64(), 5+r.Intn(15))
+		b := genSeq(dnaAlphabet, r.Uint64(), 5+r.Intn(15))
+		nw := NeedlemanWunsch(a, b, s)
+		sw := SmithWaterman(a, b, s)
+		return sw >= nw || sw >= 0
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdentifyByPeptideMasses(t *testing.T) {
+	db := NewDatabase(80)
+	e, _ := db.ByIndex(17)
+	masses := PeptideMasses(e.Protein)
+	got, ok := db.IdentifyByPeptideMasses(masses, 0.1)
+	if !ok {
+		t.Fatal("identification failed")
+	}
+	if got.Index != 17 {
+		t.Errorf("identified %d, want 17", got.Index)
+	}
+	if _, ok := db.IdentifyByPeptideMasses([]float64{-1}, 0.001); ok {
+		t.Error("impossible masses should not identify")
+	}
+}
+
+func TestTextDocumentMentionsEntry(t *testing.T) {
+	db := NewDatabase(10)
+	e, _ := db.ByIndex(2)
+	doc := TextDocument(e)
+	for _, frag := range []string{e.GeneName, e.Species, e.Pathway, e.Accession, e.Enzyme} {
+		if !strings.Contains(doc, frag) {
+			t.Errorf("document missing %q", frag)
+		}
+	}
+}

@@ -1,0 +1,326 @@
+package bio
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Record renderers produce the flat-file formats the shim modules of the
+// catalog translate between (§5: "translating a Uniprot protein record
+// into a Fasta record"). Each format has a recogniser so pool classifiers
+// can assign record values to ontology partitions, and the two formats
+// exercised hardest (Uniprot, FASTA) also have parsers.
+
+// Entry is the logical content of one database entry; all record formats
+// render views of it.
+type Entry struct {
+	Index     int
+	Accession string // primary (Uniprot) accession
+	GeneName  string
+	Species   string
+	Protein   string // protein sequence
+	DNA       string // coding DNA sequence
+	GOTerms   []string
+	Pathway   string
+	Enzyme    string
+}
+
+// UniprotRecord renders the entry as a Uniprot-style flat file.
+func UniprotRecord(e Entry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ID   %s_%s   Reviewed;   %d AA.\n", e.GeneName, organismCode(e.Species), len(e.Protein))
+	fmt.Fprintf(&b, "AC   %s;\n", e.Accession)
+	fmt.Fprintf(&b, "DE   RecName: Full=Protein %s;\n", e.GeneName)
+	fmt.Fprintf(&b, "GN   Name=%s;\n", e.GeneName)
+	fmt.Fprintf(&b, "OS   %s.\n", e.Species)
+	for _, g := range e.GOTerms {
+		fmt.Fprintf(&b, "DR   GO; %s.\n", g)
+	}
+	if e.Enzyme != "" {
+		fmt.Fprintf(&b, "DR   ENZYME; %s.\n", e.Enzyme)
+	}
+	fmt.Fprintf(&b, "SQ   SEQUENCE   %d AA;  %.0f MW;\n", len(e.Protein), MolecularWeight(e.Protein))
+	for i := 0; i < len(e.Protein); i += 60 {
+		end := i + 60
+		if end > len(e.Protein) {
+			end = len(e.Protein)
+		}
+		fmt.Fprintf(&b, "     %s\n", e.Protein[i:end])
+	}
+	b.WriteString("//\n")
+	return b.String()
+}
+
+// IsUniprotRecord reports whether s looks like a Uniprot flat file. The
+// "Reviewed;" marker distinguishes it from EMBL records, whose ID lines
+// share the prefix.
+func IsUniprotRecord(s string) bool {
+	return strings.HasPrefix(s, "ID   ") && strings.Contains(s, "Reviewed;") &&
+		strings.Contains(s, "\nAC   ") && strings.Contains(s, "\nSQ   ")
+}
+
+// ParseUniprotRecord extracts the accession and sequence from a Uniprot
+// flat file.
+func ParseUniprotRecord(s string) (accession, sequence string, err error) {
+	if !IsUniprotRecord(s) {
+		return "", "", fmt.Errorf("bio: not a Uniprot record")
+	}
+	var seq strings.Builder
+	inSeq := false
+	for _, line := range strings.Split(s, "\n") {
+		switch {
+		case strings.HasPrefix(line, "AC   "):
+			accession = strings.TrimSuffix(strings.TrimSpace(line[5:]), ";")
+		case strings.HasPrefix(line, "SQ   "):
+			inSeq = true
+		case line == "//":
+			inSeq = false
+		case inSeq:
+			seq.WriteString(strings.TrimSpace(line))
+		}
+	}
+	if accession == "" {
+		return "", "", fmt.Errorf("bio: Uniprot record without AC line")
+	}
+	return accession, seq.String(), nil
+}
+
+// FastaRecord renders a FASTA record with a Uniprot-style header.
+func FastaRecord(e Entry) string {
+	return FastaOf(fmt.Sprintf("sp|%s|%s_%s %s", e.Accession, e.GeneName, organismCode(e.Species), e.Species), e.Protein)
+}
+
+// FastaOf renders an arbitrary header/sequence pair as FASTA with 60
+// columns.
+func FastaOf(header, seq string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ">%s\n", header)
+	for i := 0; i < len(seq); i += 60 {
+		end := i + 60
+		if end > len(seq) {
+			end = len(seq)
+		}
+		b.WriteString(seq[i:end])
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// IsFastaRecord reports whether s looks like a FASTA record.
+func IsFastaRecord(s string) bool { return strings.HasPrefix(s, ">") && strings.Contains(s, "\n") }
+
+// ParseFasta extracts the header and concatenated sequence of the first
+// FASTA record in s.
+func ParseFasta(s string) (header, seq string, err error) {
+	if !IsFastaRecord(s) {
+		return "", "", fmt.Errorf("bio: not a FASTA record")
+	}
+	lines := strings.Split(s, "\n")
+	header = strings.TrimPrefix(lines[0], ">")
+	var b strings.Builder
+	for _, line := range lines[1:] {
+		if strings.HasPrefix(line, ">") {
+			break
+		}
+		b.WriteString(strings.TrimSpace(line))
+	}
+	return header, b.String(), nil
+}
+
+// GenBankRecord renders the entry's DNA as a GenBank-style record.
+func GenBankRecord(e Entry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "LOCUS       %s   %d bp   DNA\n", GenBankAccession(e.Index), len(e.DNA))
+	fmt.Fprintf(&b, "DEFINITION  %s %s gene.\n", e.Species, e.GeneName)
+	fmt.Fprintf(&b, "ACCESSION   %s\n", GenBankAccession(e.Index))
+	fmt.Fprintf(&b, "SOURCE      %s\n", e.Species)
+	b.WriteString("ORIGIN\n")
+	for i := 0; i < len(e.DNA); i += 60 {
+		end := i + 60
+		if end > len(e.DNA) {
+			end = len(e.DNA)
+		}
+		fmt.Fprintf(&b, "%9d %s\n", i+1, strings.ToLower(e.DNA[i:end]))
+	}
+	b.WriteString("//\n")
+	return b.String()
+}
+
+// IsGenBankRecord reports whether s looks like a GenBank record.
+func IsGenBankRecord(s string) bool {
+	return strings.HasPrefix(s, "LOCUS       ") && strings.Contains(s, "\nORIGIN\n")
+}
+
+// PDBRecord renders a minimal PDB-style structure record.
+func PDBRecord(e Entry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "HEADER    PROTEIN STRUCTURE              %s\n", PDBAccession(e.Index))
+	fmt.Fprintf(&b, "TITLE     CRYSTAL STRUCTURE OF %s FROM %s\n", strings.ToUpper(e.GeneName), strings.ToUpper(e.Species))
+	fmt.Fprintf(&b, "SEQRES  1 A %4d  %s\n", len(e.Protein), spaced(e.Protein, 13))
+	b.WriteString("END\n")
+	return b.String()
+}
+
+// IsPDBRecord reports whether s looks like a PDB record.
+func IsPDBRecord(s string) bool { return strings.HasPrefix(s, "HEADER    ") }
+
+// GlycanRecord renders a KEGG-glycan-style record — one of the exotic
+// formats the §5 users could not read.
+func GlycanRecord(e Entry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ENTRY       %s          Glycan\n", GlycanID(e.Index))
+	fmt.Fprintf(&b, "COMPOSITION (Gal)%d (GlcNAc)%d (Man)%d\n", 1+e.Index%4, 1+e.Index%3, 2+e.Index%2)
+	fmt.Fprintf(&b, "MASS        %.2f\n", 500.0+float64(e.Index%4000)/7)
+	b.WriteString("///\n")
+	return b.String()
+}
+
+// IsGlycanRecord reports whether s looks like a glycan record.
+func IsGlycanRecord(s string) bool {
+	return strings.HasPrefix(s, "ENTRY       G") && strings.Contains(s, "COMPOSITION")
+}
+
+// LigandRecord renders a ligand-database-style record (exotic format).
+func LigandRecord(e Entry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "LIGAND-ID   %s\n", LigandID(e.Index))
+	fmt.Fprintf(&b, "FORMULA     C%dH%dN%dO%d\n", 6+e.Index%20, 8+e.Index%30, 1+e.Index%5, 2+e.Index%8)
+	fmt.Fprintf(&b, "TARGET      %s\n", e.Accession)
+	b.WriteString("///\n")
+	return b.String()
+}
+
+// IsLigandRecord reports whether s looks like a ligand record.
+func IsLigandRecord(s string) bool { return strings.HasPrefix(s, "LIGAND-ID   ") }
+
+// PathwayRecord renders a KEGG-pathway-style record.
+func PathwayRecord(e Entry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ENTRY       %s   Pathway\n", strings.TrimPrefix(e.Pathway, "path:"))
+	fmt.Fprintf(&b, "NAME        Synthetic pathway %d\n", e.Index%100)
+	fmt.Fprintf(&b, "GENE        %s\n", e.GeneName)
+	fmt.Fprintf(&b, "COMPOUND    %s\n", KEGGCompoundID(e.Index))
+	b.WriteString("///\n")
+	return b.String()
+}
+
+// IsPathwayRecord reports whether s looks like a pathway record.
+func IsPathwayRecord(s string) bool {
+	return strings.HasPrefix(s, "ENTRY       ") && strings.Contains(s, "Pathway")
+}
+
+// EnzymeRecord renders an ENZYME-style record.
+func EnzymeRecord(e Entry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ID   %s\n", strings.TrimPrefix(e.Enzyme, "EC "))
+	fmt.Fprintf(&b, "DE   Synthetic transferase %s\n", e.GeneName)
+	fmt.Fprintf(&b, "PR   PROSITE; PS%05d;\n", e.Index%100000)
+	b.WriteString("//\n")
+	return b.String()
+}
+
+// IsEnzymeRecord reports whether s looks like an enzyme record.
+func IsEnzymeRecord(s string) bool {
+	return strings.HasPrefix(s, "ID   ") && strings.Contains(s, "\nDE   Synthetic transferase")
+}
+
+// PIRRecord renders a PIR-style protein record.
+func PIRRecord(e Entry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ">P1;%s\n", PIRAccession(e.Index))
+	fmt.Fprintf(&b, "Protein %s - %s\n", e.GeneName, e.Species)
+	fmt.Fprintf(&b, "%s*\n", e.Protein)
+	return b.String()
+}
+
+// IsPIRRecord reports whether s looks like a PIR record.
+func IsPIRRecord(s string) bool { return strings.HasPrefix(s, ">P1;") }
+
+// EMBLRecord renders an EMBL-style nucleotide record.
+func EMBLRecord(e Entry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ID   %s; SV 1; linear; DNA; %d BP.\n", EMBLAccession(e.Index), len(e.DNA))
+	fmt.Fprintf(&b, "AC   %s;\n", EMBLAccession(e.Index))
+	fmt.Fprintf(&b, "OS   %s\n", e.Species)
+	fmt.Fprintf(&b, "SQ   Sequence %d BP;\n", len(e.DNA))
+	fmt.Fprintf(&b, "     %s\n//\n", strings.ToLower(e.DNA))
+	return b.String()
+}
+
+// IsEMBLRecord reports whether s looks like an EMBL record.
+func IsEMBLRecord(s string) bool {
+	return strings.HasPrefix(s, "ID   X") && strings.Contains(s, "; linear; DNA;")
+}
+
+// TextDocument renders the synthetic abstract about an entry that the
+// text-mining modules of the catalog analyse.
+func TextDocument(e Entry) string {
+	return fmt.Sprintf(
+		"Studies of the %s gene in %s indicate involvement of pathway %s. "+
+			"The product (accession %s) shows transferase activity (%s) and is "+
+			"annotated with %s.",
+		e.GeneName, e.Species, e.Pathway, e.Accession, e.Enzyme, strings.Join(e.GOTerms, ", "))
+}
+
+// ClassifyRecord returns the most specific record format name for s (one
+// of "uniprot", "fasta", "genbank", "embl", "pdb", "glycan", "ligand",
+// "pathway", "enzyme", "pir"), or "" when unknown.
+func ClassifyRecord(s string) string {
+	switch {
+	case IsPIRRecord(s):
+		return "pir"
+	case IsUniprotRecord(s):
+		return "uniprot"
+	case IsFastaRecord(s):
+		return "fasta"
+	case IsGenPeptRecord(s):
+		return "genpept"
+	case IsDDBJRecord(s):
+		return "ddbj"
+	case IsGenBankRecord(s):
+		return "genbank"
+	case IsEMBLRecord(s):
+		return "embl"
+	case IsPDBRecord(s):
+		return "pdb"
+	case IsGlycanRecord(s):
+		return "glycan"
+	case IsCompoundRecord(s):
+		return "compound"
+	case IsDrugRecord(s):
+		return "drug"
+	case IsReactionRecord(s):
+		return "reaction"
+	case IsLigandRecord(s):
+		return "ligand"
+	case IsPathwayRecord(s):
+		return "pathway"
+	case IsEnzymeRecord(s):
+		return "enzyme"
+	default:
+		return ""
+	}
+}
+
+func organismCode(species string) string {
+	parts := strings.Fields(species)
+	if len(parts) < 2 {
+		return "UNKN"
+	}
+	code := strings.ToUpper(parts[0][:2] + parts[1][:2])
+	return code
+}
+
+func spaced(s string, n int) string {
+	if len(s) > n {
+		s = s[:n]
+	}
+	out := make([]byte, 0, len(s)*2)
+	for i := 0; i < len(s); i++ {
+		if i > 0 {
+			out = append(out, ' ')
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}

@@ -1,0 +1,99 @@
+package bio
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Additional record formats rounding out the record ontology: protein
+// GenPept, nucleotide DDBJ (the classic GenBank/EMBL/DDBJ trio), and the
+// small-molecule family (compound, drug, reaction) that joins glycan and
+// ligand records.
+
+// GenPeptRecord renders the entry's protein as a GenPept-style record.
+func GenPeptRecord(e Entry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "LOCUS       %s_P   %d aa   PROT\n", GenBankAccession(e.Index), len(e.Protein))
+	fmt.Fprintf(&b, "DEFINITION  protein %s [%s].\n", e.GeneName, e.Species)
+	fmt.Fprintf(&b, "ACCESSION   %s\n", e.Accession)
+	b.WriteString("ORIGIN\n")
+	fmt.Fprintf(&b, "%9d %s\n", 1, strings.ToLower(e.Protein))
+	b.WriteString("//\n")
+	return b.String()
+}
+
+// IsGenPeptRecord reports whether s looks like a GenPept record.
+func IsGenPeptRecord(s string) bool {
+	return strings.HasPrefix(s, "LOCUS       ") && strings.Contains(s, " aa   PROT")
+}
+
+// DDBJRecord renders the entry's DNA as a DDBJ-style record.
+func DDBJRecord(e Entry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "LOCUS       DDBJ%06d   %d bp   DNA   DDBJ\n", e.Index, len(e.DNA))
+	fmt.Fprintf(&b, "DEFINITION  %s %s gene (DDBJ mirror).\n", e.Species, e.GeneName)
+	fmt.Fprintf(&b, "ACCESSION   %s\n", GenBankAccession(e.Index))
+	b.WriteString("ORIGIN\n")
+	fmt.Fprintf(&b, "%9d %s\n//\n", 1, strings.ToLower(e.DNA))
+	return b.String()
+}
+
+// IsDDBJRecord reports whether s looks like a DDBJ record.
+func IsDDBJRecord(s string) bool {
+	return strings.HasPrefix(s, "LOCUS       DDBJ") && strings.Contains(s, "   DDBJ\n")
+}
+
+// CompoundRecord renders a KEGG-compound-style record.
+func CompoundRecord(e Entry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ENTRY       %s          Compound\n", KEGGCompoundID(e.Index))
+	fmt.Fprintf(&b, "NAME        Synthetate-%d\n", e.Index%500)
+	fmt.Fprintf(&b, "FORMULA     C%dH%dO%d\n", 3+e.Index%12, 4+e.Index%20, 1+e.Index%6)
+	fmt.Fprintf(&b, "PATHWAY     %s\n", e.Pathway)
+	b.WriteString("///\n")
+	return b.String()
+}
+
+// IsCompoundRecord reports whether s looks like a compound record.
+func IsCompoundRecord(s string) bool {
+	return strings.HasPrefix(s, "ENTRY       C") && strings.Contains(s, "Compound")
+}
+
+// DrugRecord renders a KEGG-drug-style record.
+func DrugRecord(e Entry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ENTRY       D%05d          Drug\n", e.Index%100000)
+	fmt.Fprintf(&b, "NAME        Synthecillin-%d\n", e.Index%300)
+	fmt.Fprintf(&b, "TARGET      %s\n", e.Accession)
+	fmt.Fprintf(&b, "EFFICACY    Inhibitor (%s)\n", e.Enzyme)
+	b.WriteString("///\n")
+	return b.String()
+}
+
+// IsDrugRecord reports whether s looks like a drug record.
+func IsDrugRecord(s string) bool {
+	return strings.HasPrefix(s, "ENTRY       D") && strings.Contains(s, "Drug")
+}
+
+// ReactionRecord renders a KEGG-reaction-style record.
+func ReactionRecord(e Entry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ENTRY       R%05d          Reaction\n", e.Index%100000)
+	fmt.Fprintf(&b, "EQUATION    %s + H2O <=> %s\n", KEGGCompoundID(e.Index), KEGGCompoundID(e.Index+1))
+	fmt.Fprintf(&b, "ENZYME      %s\n", strings.TrimPrefix(e.Enzyme, "EC "))
+	b.WriteString("///\n")
+	return b.String()
+}
+
+// IsReactionRecord reports whether s looks like a reaction record.
+func IsReactionRecord(s string) bool {
+	return strings.HasPrefix(s, "ENTRY       R") && strings.Contains(s, "Reaction")
+}
+
+// GenericSequence returns a deterministic sequence over an extended
+// alphabet (including ambiguity codes) that is neither DNA, RNA nor
+// protein — a realization of the BiologicalSequence concept itself.
+func GenericSequence(i int) string {
+	i = norm(i)
+	return genSeq("ACGTNXBZJ*", uint64(i)*48271+7, 24+(i*5)%48)
+}

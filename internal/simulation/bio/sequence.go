@@ -1,0 +1,235 @@
+package bio
+
+import (
+	"math"
+	"strings"
+)
+
+// Sequence generation is deterministic from an integer index via a small
+// splitmix-style PRNG, so every component of the simulation sees the same
+// sequences without sharing state.
+
+const (
+	dnaAlphabet     = "ACGT"
+	rnaAlphabet     = "ACGU"
+	proteinAlphabet = "ACDEFGHIKLMNPQRSTVWY"
+)
+
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func genSeq(alphabet string, seed uint64, length int) string {
+	var b strings.Builder
+	b.Grow(length)
+	state := seed
+	for j := 0; j < length; j++ {
+		state = mix(state)
+		b.WriteByte(alphabet[state%uint64(len(alphabet))])
+	}
+	return b.String()
+}
+
+// DNASequence returns the deterministic DNA sequence for entry i. Lengths
+// vary between 30 and 120 bases and are always multiples of 3 so the
+// sequence translates cleanly.
+func DNASequence(i int) string {
+	i = norm(i)
+	length := 30 + (i*7)%91
+	length -= length % 3
+	return genSeq(dnaAlphabet, uint64(i)*2654435761+1, length)
+}
+
+// RNASequence returns the deterministic RNA (mRNA) sequence for entry i:
+// the transcription of its DNA sequence.
+func RNASequence(i int) string { return Transcribe(DNASequence(i)) }
+
+// ProteinSequence returns the deterministic protein sequence for entry i:
+// the translation of its mRNA.
+func ProteinSequence(i int) string { return Translate(RNASequence(i)) }
+
+// IsDNA reports whether s is a non-empty sequence over ACGT.
+func IsDNA(s string) bool { return overAlphabet(s, dnaAlphabet) }
+
+// IsRNA reports whether s is a non-empty sequence over ACGU containing U
+// (pure ACG strings are treated as DNA).
+func IsRNA(s string) bool { return overAlphabet(s, rnaAlphabet) && strings.ContainsRune(s, 'U') }
+
+// IsProtein reports whether s is a non-empty sequence over the 20 amino
+// acid letters that is neither DNA nor RNA.
+func IsProtein(s string) bool {
+	return overAlphabet(s, proteinAlphabet) && !overAlphabet(s, dnaAlphabet) && !IsRNA(s)
+}
+
+// ClassifySequence returns "dna", "rna", "protein" or "" for a string.
+func ClassifySequence(s string) string {
+	switch {
+	case IsDNA(s):
+		return "dna"
+	case IsRNA(s):
+		return "rna"
+	case IsProtein(s):
+		return "protein"
+	default:
+		return ""
+	}
+}
+
+func overAlphabet(s, alphabet string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !strings.ContainsRune(alphabet, r) {
+			return false
+		}
+	}
+	return true
+}
+
+// Transcribe converts DNA to mRNA (T -> U on the coding strand).
+func Transcribe(dna string) string { return strings.ReplaceAll(dna, "T", "U") }
+
+// ReverseTranscribe converts RNA back to DNA (U -> T).
+func ReverseTranscribe(rna string) string { return strings.ReplaceAll(rna, "U", "T") }
+
+// Complement returns the complementary DNA strand (A<->T, C<->G).
+func Complement(dna string) string {
+	var b strings.Builder
+	b.Grow(len(dna))
+	for _, r := range dna {
+		switch r {
+		case 'A':
+			b.WriteByte('T')
+		case 'T':
+			b.WriteByte('A')
+		case 'C':
+			b.WriteByte('G')
+		case 'G':
+			b.WriteByte('C')
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// ReverseComplement returns the reverse complement of a DNA strand.
+func ReverseComplement(dna string) string {
+	c := Complement(dna)
+	r := []byte(c)
+	for i, j := 0, len(r)-1; i < j; i, j = i+1, j-1 {
+		r[i], r[j] = r[j], r[i]
+	}
+	return string(r)
+}
+
+// codonTable is the standard genetic code over RNA codons. Stop codons map
+// to '*' and terminate translation.
+var codonTable = map[string]byte{
+	"UUU": 'F', "UUC": 'F', "UUA": 'L', "UUG": 'L',
+	"CUU": 'L', "CUC": 'L', "CUA": 'L', "CUG": 'L',
+	"AUU": 'I', "AUC": 'I', "AUA": 'I', "AUG": 'M',
+	"GUU": 'V', "GUC": 'V', "GUA": 'V', "GUG": 'V',
+	"UCU": 'S', "UCC": 'S', "UCA": 'S', "UCG": 'S',
+	"CCU": 'P', "CCC": 'P', "CCA": 'P', "CCG": 'P',
+	"ACU": 'T', "ACC": 'T', "ACA": 'T', "ACG": 'T',
+	"GCU": 'A', "GCC": 'A', "GCA": 'A', "GCG": 'A',
+	"UAU": 'Y', "UAC": 'Y', "UAA": '*', "UAG": '*',
+	"CAU": 'H', "CAC": 'H', "CAA": 'Q', "CAG": 'Q',
+	"AAU": 'N', "AAC": 'N', "AAA": 'K', "AAG": 'K',
+	"GAU": 'D', "GAC": 'D', "GAA": 'E', "GAG": 'E',
+	"UGU": 'C', "UGC": 'C', "UGA": '*', "UGG": 'W',
+	"CGU": 'R', "CGC": 'R', "CGA": 'R', "CGG": 'R',
+	"AGU": 'S', "AGC": 'S', "AGA": 'R', "AGG": 'R',
+	"GGU": 'G', "GGC": 'G', "GGA": 'G', "GGG": 'G',
+}
+
+// Translate converts an mRNA sequence to a protein using the standard
+// genetic code, reading frame 0, stopping at the first stop codon.
+// Trailing partial codons are ignored.
+func Translate(rna string) string {
+	var b strings.Builder
+	for i := 0; i+3 <= len(rna); i += 3 {
+		aa, ok := codonTable[rna[i:i+3]]
+		if !ok {
+			break
+		}
+		if aa == '*' {
+			break
+		}
+		b.WriteByte(aa)
+	}
+	return b.String()
+}
+
+// GCContent returns the fraction of G and C bases in a nucleotide
+// sequence, or 0 for an empty string.
+func GCContent(seq string) float64 {
+	if seq == "" {
+		return 0
+	}
+	gc := 0
+	for _, r := range seq {
+		if r == 'G' || r == 'C' {
+			gc++
+		}
+	}
+	return float64(gc) / float64(len(seq))
+}
+
+// monoisotopicMass holds the residue masses (Da) of the 20 amino acids.
+var monoisotopicMass = map[byte]float64{
+	'A': 71.03711, 'R': 156.10111, 'N': 114.04293, 'D': 115.02694,
+	'C': 103.00919, 'E': 129.04259, 'Q': 128.05858, 'G': 57.02146,
+	'H': 137.05891, 'I': 113.08406, 'L': 113.08406, 'K': 128.09496,
+	'M': 131.04049, 'F': 147.06841, 'P': 97.05276, 'S': 87.03203,
+	'T': 101.04768, 'W': 186.07931, 'Y': 163.06333, 'V': 99.06841,
+}
+
+const waterMass = 18.01056
+
+// MolecularWeight returns the monoisotopic mass of a protein in Daltons
+// (residue masses plus one water). Unknown residues contribute nothing.
+func MolecularWeight(protein string) float64 {
+	if protein == "" {
+		return 0
+	}
+	m := waterMass
+	for i := 0; i < len(protein); i++ {
+		m += monoisotopicMass[protein[i]]
+	}
+	return math.Round(m*100000) / 100000
+}
+
+// TrypticPeptides digests a protein with trypsin-like cleavage: cuts after
+// K and R except before P.
+func TrypticPeptides(protein string) []string {
+	var peps []string
+	start := 0
+	for i := 0; i < len(protein); i++ {
+		if (protein[i] == 'K' || protein[i] == 'R') && (i+1 >= len(protein) || protein[i+1] != 'P') {
+			peps = append(peps, protein[start:i+1])
+			start = i + 1
+		}
+	}
+	if start < len(protein) {
+		peps = append(peps, protein[start:])
+	}
+	return peps
+}
+
+// PeptideMasses returns the monoisotopic masses of the tryptic peptides of
+// a protein — the mass-spectrometry fingerprint fed to the Identify module
+// of Figure 1.
+func PeptideMasses(protein string) []float64 {
+	peps := TrypticPeptides(protein)
+	out := make([]float64, len(peps))
+	for i, p := range peps {
+		out[i] = MolecularWeight(p)
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+package simulation
+
+import (
+	"fmt"
+	"sort"
+
+	"dexa/internal/metrics"
+	"dexa/internal/module"
+	"dexa/internal/simulation/bio"
+	"dexa/internal/typesys"
+)
+
+// Behavior is the ground truth attached to every catalog module: the
+// module's classes of behaviour (§4.2 — the distinct tasks it performs
+// depending on its inputs) and a classifier mapping concrete inputs to the
+// class exercised. The paper derived this from module documentation with a
+// domain expert; the simulation knows it exactly. It implements
+// metrics.BehaviorOracle.
+type Behavior struct {
+	ClassList  []string
+	ClassifyFn func(inputs map[string]typesys.Value) (string, bool)
+}
+
+// Classes implements metrics.BehaviorOracle.
+func (b Behavior) Classes() []string { return b.ClassList }
+
+// ClassOf implements metrics.BehaviorOracle.
+func (b Behavior) ClassOf(inputs map[string]typesys.Value) (string, bool) {
+	return b.ClassifyFn(inputs)
+}
+
+var _ metrics.BehaviorOracle = Behavior{}
+
+// CatalogEntry is one of the 252 modules with its evaluation metadata.
+type CatalogEntry struct {
+	Module   *module.Module
+	Behavior Behavior
+
+	// Popular marks modules recognisable by name alone (the "popular
+	// modules available as web services, which the user recognized" of §5).
+	Popular bool
+	// ExoticOutput marks retrieval modules whose output format the study
+	// users did not know (Glycan, Ligand, ...): unidentifiable even with
+	// data examples.
+	ExoticOutput bool
+	// UserFriendly marks the few filtering/analysis modules whose behaviour
+	// users could infer from data examples.
+	UserFriendly bool
+	// ImpreciseOutput marks the 19 modules whose output annotations are
+	// broader than what they produce, leaving output partitions uncovered
+	// (§4.3: get_genes_by_enzyme, link, binfo, ...).
+	ImpreciseOutput bool
+}
+
+// Catalog is the full 252-module collection with the Table-3 kind
+// distribution.
+type Catalog struct {
+	Entries []*CatalogEntry
+	byID    map[string]*CatalogEntry
+}
+
+// Get returns the catalog entry for a module ID.
+func (c *Catalog) Get(id string) (*CatalogEntry, bool) {
+	e, ok := c.byID[id]
+	return e, ok
+}
+
+// Modules returns all catalog modules in construction order.
+func (c *Catalog) Modules() []*module.Module {
+	out := make([]*module.Module, len(c.Entries))
+	for i, e := range c.Entries {
+		out[i] = e.Module
+	}
+	return out
+}
+
+// KindCounts returns the Table-3 census of the catalog.
+func (c *Catalog) KindCounts() map[module.Kind]int {
+	out := map[module.Kind]int{}
+	for _, e := range c.Entries {
+		out[e.Module.Kind]++
+	}
+	return out
+}
+
+// catalogBuilder accumulates modules and assigns forms and providers
+// deterministically: the paper's supply-form split is 56 local programs,
+// 60 REST services and 136 SOAP services (§4.1).
+type catalogBuilder struct {
+	db      *bio.Database
+	entries []*CatalogEntry
+	byID    map[string]*CatalogEntry
+	n       int
+}
+
+var providers = []string{"EBI", "KEGG", "DDBJ", "NCBI", "ExPASy", "SoapLab"}
+
+func (cb *catalogBuilder) form() module.Form {
+	switch {
+	case cb.n < 56:
+		return module.FormLocal
+	case cb.n < 116:
+		return module.FormREST
+	default:
+		return module.FormSOAP
+	}
+}
+
+// add registers a module built from the given pieces and returns its entry
+// for flagging.
+func (cb *catalogBuilder) add(id, name, desc string, kind module.Kind,
+	inputs, outputs []module.Parameter, exec module.ExecFunc, behavior Behavior) *CatalogEntry {
+	if _, dup := cb.byID[id]; dup {
+		panic(fmt.Sprintf("simulation: duplicate module id %q", id))
+	}
+	m := &module.Module{
+		ID: id, Name: name, Description: desc,
+		Kind: kind, Form: cb.form(), Provider: providers[cb.n%len(providers)],
+		Inputs: inputs, Outputs: outputs,
+	}
+	m.Bind(exec)
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	e := &CatalogEntry{Module: m, Behavior: behavior}
+	cb.entries = append(cb.entries, e)
+	cb.byID[id] = e
+	cb.n++
+	return e
+}
+
+// Parameter shorthands.
+
+func inStr(name, concept string) module.Parameter {
+	return module.Parameter{Name: name, Struct: typesys.StringType, Semantic: concept}
+}
+
+func inFloat(name, concept string) module.Parameter {
+	return module.Parameter{Name: name, Struct: typesys.FloatType, Semantic: concept}
+}
+
+func inStrList(name, concept string) module.Parameter {
+	return module.Parameter{Name: name, Struct: typesys.ListOf(typesys.StringType), Semantic: concept}
+}
+
+func inFloatList(name, concept string) module.Parameter {
+	return module.Parameter{Name: name, Struct: typesys.ListOf(typesys.FloatType), Semantic: concept}
+}
+
+// singleClass is the Behavior of a module that performs one task for its
+// whole input domain.
+func singleClass(task string) Behavior {
+	return Behavior{
+		ClassList:  []string{task},
+		ClassifyFn: func(map[string]typesys.Value) (string, bool) { return task, true },
+	}
+}
+
+// classByInputConcept builds a Behavior whose class is determined by the
+// ontology concept of the named input value, through the given
+// concept->class table. Classes are the distinct table values plus any
+// extra (hidden) classes.
+func classByInputConcept(param string, table map[string]string, hidden ...string) Behavior {
+	seen := map[string]bool{}
+	var classes []string
+	keys := make([]string, 0, len(table))
+	for k := range table {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !seen[table[k]] {
+			seen[table[k]] = true
+			classes = append(classes, table[k])
+		}
+	}
+	classes = append(classes, hidden...)
+	return Behavior{
+		ClassList: classes,
+		ClassifyFn: func(inputs map[string]typesys.Value) (string, bool) {
+			v, ok := inputs[param]
+			if !ok {
+				return "", false
+			}
+			concept := ClassifyValue(v)
+			cls, ok := table[concept]
+			return cls, ok
+		},
+	}
+}
+
+// uniformOver builds the concept->class table mapping every listed concept
+// to the same class.
+func uniformOver(class string, concepts ...string) map[string]string {
+	t := make(map[string]string, len(concepts))
+	for _, c := range concepts {
+		t[c] = class
+	}
+	return t
+}
+
+// strOf extracts a string input.
+func strOf(inputs map[string]typesys.Value, name string) (string, bool) {
+	v, ok := inputs[name].(typesys.StringValue)
+	return string(v), ok
+}
+
+// rejectf is shorthand for an ExecutionError cause.
+func rejectf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, module.ErrRejectedInput)...)
+}
+
+// strOut wraps a single string output.
+func strOut(name, v string) map[string]typesys.Value {
+	return map[string]typesys.Value{name: typesys.Str(v)}
+}
+
+// listOut wraps a list-of-strings output.
+func listOut(name string, items []string) map[string]typesys.Value {
+	vals := make([]typesys.Value, len(items))
+	for i, s := range items {
+		vals[i] = typesys.Str(s)
+	}
+	return map[string]typesys.Value{name: typesys.MustList(typesys.StringType, vals...)}
+}
+
+// floatOut wraps a single float output.
+func floatOut(name string, v float64) map[string]typesys.Value {
+	return map[string]typesys.Value{name: typesys.Floatv(v)}
+}
+
+// BuildCatalog assembles the full 252-module catalog over the database.
+func BuildCatalog(db *bio.Database) *Catalog {
+	cb := &catalogBuilder{db: db, byID: map[string]*CatalogEntry{}}
+	cb.addRetrievalModules()
+	cb.addTransformationModules()
+	cb.addMappingModules()
+	cb.addFilteringModules()
+	cb.addAnalysisModules()
+	return &Catalog{Entries: cb.entries, byID: cb.byID}
+}

@@ -1,0 +1,270 @@
+package simulation
+
+import (
+	"strings"
+
+	"dexa/internal/module"
+	"dexa/internal/simulation/bio"
+	"dexa/internal/typesys"
+)
+
+// Identifier-mapping modules (Table 3: 62). They translate identifiers
+// between data sources ("e.g., from Uniprot to GO" — §5), the glue of
+// data-integration workflows.
+//
+// Composition: 42 precisely annotated modules (14 bases × 3 providers,
+// including the paper-named get_genes_by_enzyme and link with their
+// imprecise output annotations); 8 over the 2-partition nucleotide
+// accession domain (conciseness 0.5, 2 with imprecise outputs); 4
+// nucleotide-record extractors (conciseness ~0.33); 8 protein-record
+// extractors (conciseness 0.2, all with imprecise outputs).
+func (cb *catalogBuilder) addMappingModules() {
+	db := cb.db
+
+	lookup := func(in map[string]typesys.Value, param string) (bio.Entry, error) {
+		acc, _ := strOf(in, param)
+		e, ok := db.ByAnyAccession(acc)
+		if !ok {
+			return bio.Entry{}, rejectf("no entry for %q", acc)
+		}
+		return e, nil
+	}
+
+	type mapBase struct {
+		id, name, desc string
+		inC            string
+		out            module.Parameter
+		exec           module.ExecFunc
+		imprecise      bool
+	}
+	bases := []mapBase{
+		{"uniprotToGO", "UniprotToGO", "map a Uniprot accession to its GO terms", CUniprotAcc,
+			inStrList("terms", CGOTermList),
+			func(in map[string]typesys.Value) (map[string]typesys.Value, error) {
+				e, err := lookup(in, "accession")
+				if err != nil {
+					return nil, err
+				}
+				return listOut("terms", e.GOTerms), nil
+			}, false},
+		{"uniprotToKEGG", "UniprotToKEGG", "map a Uniprot accession to its KEGG gene identifier", CUniprotAcc,
+			inStr("gene", CKEGGGeneID),
+			func(in map[string]typesys.Value) (map[string]typesys.Value, error) {
+				e, err := lookup(in, "accession")
+				if err != nil {
+					return nil, err
+				}
+				return strOut("gene", bio.KEGGGeneID(e.Index)), nil
+			}, false},
+		{"uniprotToPathway", "UniprotToPathway", "map a Uniprot accession to its KEGG pathway", CUniprotAcc,
+			inStr("pathway", CKEGGPathwayID),
+			func(in map[string]typesys.Value) (map[string]typesys.Value, error) {
+				e, err := lookup(in, "accession")
+				if err != nil {
+					return nil, err
+				}
+				return strOut("pathway", e.Pathway), nil
+			}, false},
+		{"uniprotToEnzyme", "UniprotToEnzyme", "map a Uniprot accession to its EC number", CUniprotAcc,
+			inStr("enzyme", CEnzymeID),
+			func(in map[string]typesys.Value) (map[string]typesys.Value, error) {
+				e, err := lookup(in, "accession")
+				if err != nil {
+					return nil, err
+				}
+				return strOut("enzyme", e.Enzyme), nil
+			}, false},
+		{"uniprotToGene", "UniprotToGene", "map a Uniprot accession to its gene symbol", CUniprotAcc,
+			inStr("gene", CGeneName),
+			func(in map[string]typesys.Value) (map[string]typesys.Value, error) {
+				e, err := lookup(in, "accession")
+				if err != nil {
+					return nil, err
+				}
+				return strOut("gene", e.GeneName), nil
+			}, false},
+		{"uniprotToPIR", "UniprotToPIR", "map a Uniprot accession to the PIR accession", CUniprotAcc,
+			inStr("pir", CPIRAcc),
+			func(in map[string]typesys.Value) (map[string]typesys.Value, error) {
+				e, err := lookup(in, "accession")
+				if err != nil {
+					return nil, err
+				}
+				return strOut("pir", bio.PIRAccession(e.Index)), nil
+			}, false},
+		// "link" maps an accession to a related identifier but is annotated
+		// with the broad Accession concept on its output — one of the §4.3
+		// imprecise modules.
+		{"link", "link", "link a Uniprot accession to its related database identifier", CUniprotAcc,
+			inStr("related", CAccession),
+			func(in map[string]typesys.Value) (map[string]typesys.Value, error) {
+				e, err := lookup(in, "accession")
+				if err != nil {
+					return nil, err
+				}
+				return strOut("related", bio.KEGGGeneID(e.Index)), nil
+			}, true},
+		{"geneToUniprot", "GeneToUniprot", "map a gene symbol to its Uniprot accession", CGeneName,
+			inStr("accession", CUniprotAcc),
+			func(in map[string]typesys.Value) (map[string]typesys.Value, error) {
+				e, err := lookup(in, "gene")
+				if err != nil {
+					return nil, err
+				}
+				return strOut("accession", e.Accession), nil
+			}, false},
+		{"keggToUniprot", "KEGGToUniprot", "map a KEGG gene identifier to a Uniprot accession", CKEGGGeneID,
+			inStr("accession", CUniprotAcc),
+			func(in map[string]typesys.Value) (map[string]typesys.Value, error) {
+				e, err := lookup(in, "gene")
+				if err != nil {
+					return nil, err
+				}
+				return strOut("accession", e.Accession), nil
+			}, false},
+		{"genbankToUniprot", "GenBankToUniprot", "map a GenBank accession to the Uniprot accession", CGenBankAcc,
+			inStr("accession", CUniprotAcc),
+			func(in map[string]typesys.Value) (map[string]typesys.Value, error) {
+				e, err := lookup(in, "genbank")
+				if err != nil {
+					return nil, err
+				}
+				return strOut("accession", e.Accession), nil
+			}, false},
+		{"emblToGenbankAcc", "EMBLToGenBank", "map an EMBL accession to the GenBank accession", CEMBLAcc,
+			inStr("genbank", CGenBankAcc),
+			func(in map[string]typesys.Value) (map[string]typesys.Value, error) {
+				e, err := lookup(in, "embl")
+				if err != nil {
+					return nil, err
+				}
+				return strOut("genbank", bio.GenBankAccession(e.Index)), nil
+			}, false},
+		{"pdbToUniprot", "PDBToUniprot", "map a PDB identifier to the Uniprot accession", CPDBAcc,
+			inStr("accession", CUniprotAcc),
+			func(in map[string]typesys.Value) (map[string]typesys.Value, error) {
+				e, err := lookup(in, "pdb")
+				if err != nil {
+					return nil, err
+				}
+				return strOut("accession", e.Accession), nil
+			}, false},
+		// get_genes_by_enzyme: output annotated with the broad identifier
+		// collection — §4.3 names this module among the imprecisely covered.
+		{"get_genes_by_enzyme", "get_genes_by_enzyme", "list the genes catalysed by an EC number", CEnzymeID,
+			inStrList("genes", CIdentList),
+			func(in map[string]typesys.Value) (map[string]typesys.Value, error) {
+				enzyme, _ := strOf(in, "enzyme")
+				genes := db.GenesByEnzyme(enzyme)
+				if len(genes) == 0 {
+					return nil, rejectf("unknown enzyme %q", enzyme)
+				}
+				return listOut("genes", genes), nil
+			}, true},
+		{"pathwayToGenes", "PathwayToGenes", "list the accessions participating in a pathway", CKEGGPathwayID,
+			inStrList("accessions", CAccList),
+			func(in map[string]typesys.Value) (map[string]typesys.Value, error) {
+				pathway, _ := strOf(in, "pathway")
+				entries := db.EntriesInPathway(pathway)
+				if len(entries) == 0 {
+					return nil, rejectf("unknown pathway %q", pathway)
+				}
+				accs := make([]string, len(entries))
+				for i, e := range entries {
+					accs[i] = e.Accession
+				}
+				return listOut("accessions", accs), nil
+			}, false},
+	}
+	inputName := map[string]string{
+		"uniprotToGO": "accession", "uniprotToKEGG": "accession", "uniprotToPathway": "accession",
+		"uniprotToEnzyme": "accession", "uniprotToGene": "accession", "uniprotToPIR": "accession",
+		"link": "accession", "geneToUniprot": "gene", "keggToUniprot": "gene",
+		"genbankToUniprot": "genbank", "emblToGenbankAcc": "embl", "pdbToUniprot": "pdb",
+		"get_genes_by_enzyme": "enzyme", "pathwayToGenes": "pathway",
+	}
+	for _, b := range bases {
+		for v := 0; v < 3; v++ {
+			e := cb.add(b.id+variantSuffix(v), b.name, b.desc, module.KindMapping,
+				[]module.Parameter{inStr(inputName[b.id], b.inC)},
+				[]module.Parameter{b.out},
+				b.exec, singleClass("map-"+b.id))
+			e.ImpreciseOutput = b.imprecise
+		}
+	}
+
+	// Nucleotide-accession resolvers over the 2-partition domain
+	// (conciseness 0.5). Two of the eight carry imprecise protein-accession
+	// output annotations.
+	resolveExec := func(in map[string]typesys.Value) (map[string]typesys.Value, error) {
+		e, err := lookup(in, "accession")
+		if err != nil {
+			return nil, err
+		}
+		return strOut("uniprot", e.Accession), nil
+	}
+	broad := []struct {
+		id        string
+		outC      string
+		imprecise bool
+	}{
+		{"mapNucToProt", CUniprotAcc, false},
+		{"mapNucToProt-2", CUniprotAcc, false},
+		{"nucAccessionToUniprot", CUniprotAcc, false},
+		{"nucAccessionToUniprot-2", CUniprotAcc, false},
+		{"resolveNucAccession", CUniprotAcc, false},
+		{"resolveNucAccession-2", CUniprotAcc, false},
+		{"nucToProtAccession", CProtAccession, true},
+		{"nucToProtAccession-2", CProtAccession, true},
+	}
+	for _, b := range broad {
+		e := cb.add(b.id, strings.TrimSuffix(b.id, "-2"),
+			"map any nucleotide accession to the protein accession it encodes",
+			module.KindMapping,
+			[]module.Parameter{inStr("accession", CNucAccession)},
+			[]module.Parameter{inStr("uniprot", b.outC)},
+			resolveExec, singleClass("map-nuc-to-prot"))
+		e.ImpreciseOutput = b.imprecise
+	}
+
+	// Nucleotide-record accession extractors over the 3-partition record
+	// domain (conciseness 1/3 ≈ 0.33).
+	for _, id := range []string{"extractNucAccession", "nucRecordToAccession", "recordToGenBankAcc", "nucEntryAccession"} {
+		cb.add(id, id, "extract the GenBank accession from any nucleotide record", module.KindMapping,
+			[]module.Parameter{inStr("record", CNucRecord)},
+			[]module.Parameter{inStr("accession", CGenBankAcc)},
+			func(in map[string]typesys.Value) (map[string]typesys.Value, error) {
+				rec, _ := strOf(in, "record")
+				e, ok := entryFromNucleotideRecord(db, rec)
+				if !ok {
+					return nil, rejectf("cannot resolve nucleotide record")
+				}
+				return strOut("accession", bio.GenBankAccession(e.Index)), nil
+			},
+			singleClass("extract-nuc-accession"))
+	}
+
+	// Protein-record accession extractors over the 5-partition domain
+	// (conciseness 1/5 = 0.2), all with imprecise protein-accession output
+	// annotations.
+	protExtractIDs := []string{
+		"recordToAccession", "recordToAccession-2", "proteinRecordAccession", "proteinRecordAccession-2",
+		"accessionOfRecord", "accessionOfRecord-2", "getAccessionFromRecord", "getAccessionFromRecord-2",
+	}
+	for _, id := range protExtractIDs {
+		e := cb.add(id, strings.TrimSuffix(id, "-2"),
+			"extract the protein accession from any protein record", module.KindMapping,
+			[]module.Parameter{inStr("record", CProtRecord)},
+			[]module.Parameter{inStr("accession", CProtAccession)},
+			func(in map[string]typesys.Value) (map[string]typesys.Value, error) {
+				rec, _ := strOf(in, "record")
+				entry, ok := entryFromProteinRecord(db, rec)
+				if !ok {
+					return nil, rejectf("cannot resolve protein record")
+				}
+				return strOut("accession", entry.Accession), nil
+			},
+			singleClass("extract-prot-accession"))
+		e.ImpreciseOutput = true
+	}
+}

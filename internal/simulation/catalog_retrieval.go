@@ -1,0 +1,191 @@
+package simulation
+
+import (
+	"fmt"
+	"strings"
+
+	"dexa/internal/module"
+	"dexa/internal/simulation/bio"
+	"dexa/internal/typesys"
+)
+
+// Data-retrieval modules (Table 3: 51). They fetch records from the
+// synthetic databases by identifier, mirroring the annotation-pipeline
+// shims of §5 ("GetPDBEntry retrieves the biological record corresponding
+// to a given accession").
+//
+// Composition: 27 precisely annotated one-partition modules (9 bases × 3
+// provider variants); 16 over-partitioned modules taking abstract
+// protein/nucleotide accessions (conciseness 0.5); 7 record-summary
+// modules over the full 15-partition record domain (conciseness ~0.47);
+// and 1 cross-reference module over the 10-partition accession domain
+// (conciseness 0.1).
+func (cb *catalogBuilder) addRetrievalModules() {
+	db := cb.db
+	variants := []string{"", "-ddbj", "-ncbi"}
+
+	// retrievalBase describes one precisely annotated retrieval module.
+	type retrievalBase struct {
+		id, name, desc string
+		accConcept     string
+		recConcept     string
+		render         func(bio.Entry) string
+		exotic         int // how many of the 3 variants are exotic-format
+	}
+	bases := []retrievalBase{
+		{"getUniprotRecord", "GetRecord", "retrieve the Uniprot record for a protein accession",
+			CUniprotAcc, CUniprotRecord, bio.UniprotRecord, 0},
+		{"getFastaSequence", "GetFastaSequence", "retrieve the FASTA record for a protein accession",
+			CUniprotAcc, CFastaRecord, bio.FastaRecord, 0},
+		{"getPDBEntry", "GetPDBEntry", "retrieve the PDB structure record for a PDB identifier",
+			CPDBAcc, CPDBRecord, bio.PDBRecord, 0},
+		{"getGenBankEntry", "GetGenBankEntry", "retrieve the GenBank record for a nucleotide accession",
+			CGenBankAcc, CGenBankRecord, bio.GenBankRecord, 0},
+		{"getEMBLEntry", "GetEMBLEntry", "retrieve the EMBL record for a nucleotide accession",
+			CEMBLAcc, CEMBLRecord, bio.EMBLRecord, 0},
+		{"getGlycan", "GetGlycan", "retrieve the glycan record for a glycan identifier",
+			CGlycanID, CGlycanRecord, bio.GlycanRecord, 3},
+		{"getLigand", "GetLigand", "retrieve the ligand record for a ligand identifier",
+			CLigandID, CLigandRecord, bio.LigandRecord, 3},
+		{"getCompound", "GetCompound", "retrieve the compound record for a KEGG compound identifier",
+			CKEGGCompoundID, CCompoundRecord, bio.CompoundRecord, 2},
+	}
+	for _, b := range bases {
+		for vi, suffix := range variants {
+			b, suffix, vi := b, suffix, vi
+			e := cb.add(b.id+suffix, b.name, b.desc, module.KindRetrieval,
+				[]module.Parameter{inStr("accession", b.accConcept)},
+				[]module.Parameter{inStr("record", b.recConcept)},
+				func(in map[string]typesys.Value) (map[string]typesys.Value, error) {
+					acc, _ := strOf(in, "accession")
+					entry, ok := db.ByAnyAccession(acc)
+					if !ok {
+						return nil, rejectf("no entry for accession %q", acc)
+					}
+					return strOut("record", b.render(entry)), nil
+				},
+				singleClass("retrieve-"+b.recConcept))
+			if vi < b.exotic {
+				e.ExoticOutput = true
+			}
+		}
+	}
+
+	// binfo (×3 variants): database information lookup with an imprecise
+	// Document output annotation — one of the §4.3 modules whose output
+	// partitions the examples cannot fully cover.
+	for _, suffix := range variants {
+		e := cb.add("binfo"+suffix, "binfo", "retrieve release information about a database",
+			module.KindRetrieval,
+			[]module.Parameter{inStr("database", CDatabaseName)},
+			[]module.Parameter{inStr("info", CDocument)},
+			func(in map[string]typesys.Value) (map[string]typesys.Value, error) {
+				name, _ := strOf(in, "database")
+				if !isVocab(name, databaseNames) {
+					return nil, rejectf("unknown database %q", name)
+				}
+				return strOut("info", fmt.Sprintf("Database %s release 2014_03 with %d entries. Curated weekly.", name, db.Len())), nil
+			},
+			singleClass("database-info"))
+		e.ImpreciseOutput = true
+	}
+
+	// Over-partitioned retrievals (conciseness 0.5): abstract accession
+	// inputs with two realizable partitions, one behaviour.
+	type broadBase struct {
+		id, desc   string
+		accConcept string
+		recConcept string
+		render     func(bio.Entry) string
+	}
+	protBases := []broadBase{
+		{"getProteinFasta", "retrieve the FASTA record for any protein accession", CProtAccession, CFastaRecord, bio.FastaRecord},
+		{"getProteinGenPept", "retrieve the GenPept record for any protein accession", CProtAccession, CGenPeptRecord, bio.GenPeptRecord},
+		{"getProteinStructure", "retrieve the PDB record for any protein accession", CProtAccession, CPDBRecord, bio.PDBRecord},
+		{"getProteinFlatfile", "retrieve the Uniprot flat file for any protein accession", CProtAccession, CUniprotRecord, bio.UniprotRecord},
+	}
+	nucBases := []broadBase{
+		{"getNucleotideGenBank", "retrieve the GenBank record for any nucleotide accession", CNucAccession, CGenBankRecord, bio.GenBankRecord},
+		{"getNucleotideEMBL", "retrieve the EMBL record for any nucleotide accession", CNucAccession, CEMBLRecord, bio.EMBLRecord},
+		{"getNucleotideDDBJ", "retrieve the DDBJ record for any nucleotide accession", CNucAccession, CDDBJRecord, bio.DDBJRecord},
+		{"getNucleotideFasta", "retrieve the DNA as FASTA for any nucleotide accession", CNucAccession, CFastaRecord,
+			func(e bio.Entry) string { return bio.FastaOf("nt|"+bio.GenBankAccession(e.Index), e.DNA) }},
+	}
+	for _, b := range append(protBases, nucBases...) {
+		for _, suffix := range []string{"", "-mirror"} {
+			b, suffix := b, suffix
+			cb.add(b.id+suffix, b.id, b.desc, module.KindRetrieval,
+				[]module.Parameter{inStr("accession", b.accConcept)},
+				[]module.Parameter{inStr("record", b.recConcept)},
+				func(in map[string]typesys.Value) (map[string]typesys.Value, error) {
+					acc, _ := strOf(in, "accession")
+					entry, ok := db.ByAnyAccession(acc)
+					if !ok {
+						return nil, rejectf("no entry for accession %q", acc)
+					}
+					return strOut("record", b.render(entry)), nil
+				},
+				singleClass("retrieve-"+b.recConcept))
+		}
+	}
+
+	// Record-summary modules over the full record domain (15 partitions,
+	// 7 classes of behaviour -> conciseness 7/15 ≈ 0.47).
+	summaryTable := map[string]string{}
+	for k, v := range uniformOver("summarise-protein", CUniprotRecord, CPIRRecord, CPDBRecord, CFastaRecord, CGenPeptRecord) {
+		summaryTable[k] = v
+	}
+	for k, v := range uniformOver("summarise-nucleotide", CGenBankRecord, CEMBLRecord, CDDBJRecord) {
+		summaryTable[k] = v
+	}
+	summaryTable[CGlycanRecord] = "summarise-glycan"
+	summaryTable[CLigandRecord] = "summarise-ligand"
+	summaryTable[CCompoundRecord] = "summarise-compound"
+	summaryTable[CDrugRecord] = "summarise-drug"
+	for k, v := range uniformOver("summarise-misc", CReactionRecord, CEnzymeRecord, CPathwayRecord) {
+		summaryTable[k] = v
+	}
+	summaryIDs := []string{"getRecordSummary", "describeRecord", "recordInfo", "entrySummary", "summariseEntry", "recordOverview", "describeEntry"}
+	for _, id := range summaryIDs {
+		cb.add(id, id, "produce a one-line summary of any biological record",
+			module.KindRetrieval,
+			[]module.Parameter{inStr("record", CBioRecord)},
+			[]module.Parameter{inStr("summary", CSummaryReport)},
+			func(in map[string]typesys.Value) (map[string]typesys.Value, error) {
+				rec, _ := strOf(in, "record")
+				kind := bio.ClassifyRecord(rec)
+				if kind == "" {
+					return nil, rejectf("unrecognised record format")
+				}
+				first := rec
+				if i := strings.IndexByte(rec, '\n'); i >= 0 {
+					first = rec[:i]
+				}
+				return strOut("summary", fmt.Sprintf("SUMMARY kind=%s bytes=%d head=%q", kind, len(rec), first)), nil
+			},
+			classByInputConcept("record", summaryTable))
+	}
+
+	// Cross-reference expansion over the 10-partition accession domain,
+	// one behaviour (conciseness 0.1).
+	cb.add("getCrossReferences", "GetCrossReferences",
+		"list the accessions the given identifier cross-references",
+		module.KindRetrieval,
+		[]module.Parameter{inStr("accession", CAccession)},
+		[]module.Parameter{inStrList("references", CAccList)},
+		func(in map[string]typesys.Value) (map[string]typesys.Value, error) {
+			acc, _ := strOf(in, "accession")
+			entry, ok := db.ByAnyAccession(acc)
+			if !ok {
+				return nil, rejectf("no entry for accession %q", acc)
+			}
+			return listOut("references", []string{
+				entry.Accession,
+				bio.PIRAccession(entry.Index),
+				bio.GenBankAccession(entry.Index),
+				bio.EMBLAccession(entry.Index),
+				bio.PDBAccession(entry.Index),
+			}), nil
+		},
+		singleClass("cross-reference"))
+}

@@ -1,0 +1,341 @@
+package simulation
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"dexa/internal/metrics"
+	"dexa/internal/module"
+)
+
+var sharedUniverse *Universe
+
+func universe(t testing.TB) *Universe {
+	t.Helper()
+	if sharedUniverse == nil {
+		sharedUniverse = NewUniverse()
+	}
+	return sharedUniverse
+}
+
+func TestOntologyPartitionCounts(t *testing.T) {
+	o := BuildOntology()
+	want := map[string]int{
+		CBioSequence:    4,
+		CNucSequence:    2,
+		CAccession:      10,
+		CProtAccession:  2,
+		CNucAccession:   2,
+		CBioRecord:      15,
+		CProtRecord:     5,
+		CNucRecord:      3,
+		CSmallMolRecord: 6,
+		CSeqList:        3,
+		CIdentList:      3,
+		CDocument:       3,
+		CDNASequence:    1,
+		CUniprotAcc:     1,
+	}
+	for concept, n := range want {
+		parts, err := o.Partitions(concept)
+		if err != nil {
+			t.Fatalf("Partitions(%s): %v", concept, err)
+		}
+		if len(parts) != n {
+			t.Errorf("Partitions(%s) = %d (%v), want %d", concept, len(parts), parts, n)
+		}
+	}
+}
+
+func TestCatalogKindDistribution(t *testing.T) {
+	u := universe(t)
+	counts := u.Catalog.KindCounts()
+	want := map[module.Kind]int{
+		module.KindTransformation: 53,
+		module.KindRetrieval:      51,
+		module.KindMapping:        62,
+		module.KindFiltering:      27,
+		module.KindAnalysis:       59,
+	}
+	total := 0
+	for k, n := range want {
+		if counts[k] != n {
+			t.Errorf("kind %s: %d modules, want %d", k, counts[k], n)
+		}
+		total += counts[k]
+	}
+	if total != 252 || len(u.Catalog.Entries) != 252 {
+		t.Errorf("total modules = %d / %d, want 252", total, len(u.Catalog.Entries))
+	}
+}
+
+func TestCatalogFormDistribution(t *testing.T) {
+	u := universe(t)
+	counts := map[module.Form]int{}
+	for _, e := range u.Catalog.Entries {
+		counts[e.Module.Form]++
+	}
+	if counts[module.FormLocal] != 56 || counts[module.FormREST] != 60 || counts[module.FormSOAP] != 136 {
+		t.Errorf("form split = %v, want 56/60/136", counts)
+	}
+}
+
+// evaluateAll generates examples for every catalog module and evaluates
+// them against the ground truth. Shared by several tests.
+type moduleEval struct {
+	entry         *CatalogEntry
+	eval          metrics.Evaluation
+	inputCoverage float64
+	fullOutputCov bool
+}
+
+var evalCache []moduleEval
+
+func evaluateAll(t testing.TB) []moduleEval {
+	t.Helper()
+	if evalCache != nil {
+		return evalCache
+	}
+	u := universe(t)
+	for _, e := range u.Catalog.Entries {
+		set, rep, err := u.Gen.Generate(e.Module)
+		if err != nil {
+			t.Fatalf("generate %s: %v", e.Module.ID, err)
+		}
+		if len(rep.MissingInstances) > 0 {
+			t.Fatalf("module %s: partitions without pool instances: %v", e.Module.ID, rep.MissingInstances)
+		}
+		evalCache = append(evalCache, moduleEval{
+			entry:         e,
+			eval:          metrics.Evaluate(set, e.Behavior),
+			inputCoverage: rep.InputCoverage(),
+			fullOutputCov: rep.FullOutputCoverage(),
+		})
+	}
+	return evalCache
+}
+
+func TestAllInputPartitionsCovered(t *testing.T) {
+	// §4.3: "We were able to construct data examples that cover all the
+	// partitions of the input parameters."
+	for _, me := range evaluateAll(t) {
+		if me.inputCoverage != 1 {
+			t.Errorf("module %s: input coverage %.2f", me.entry.Module.ID, me.inputCoverage)
+		}
+	}
+}
+
+func TestOutputCoverageExceptions(t *testing.T) {
+	// §4.3: all output partitions covered except for 19 modules
+	// (get_genes_by_enzyme, link, binfo among them).
+	var uncovered []string
+	for _, me := range evaluateAll(t) {
+		if !me.fullOutputCov {
+			uncovered = append(uncovered, me.entry.Module.ID)
+			if !me.entry.ImpreciseOutput {
+				t.Errorf("module %s lacks output coverage but is not flagged imprecise", me.entry.Module.ID)
+			}
+		} else if me.entry.ImpreciseOutput {
+			t.Errorf("module %s is flagged imprecise but has full output coverage", me.entry.Module.ID)
+		}
+	}
+	if len(uncovered) != 19 {
+		t.Errorf("modules with uncovered output partitions = %d (%v), want 19", len(uncovered), uncovered)
+	}
+	named := map[string]bool{}
+	for _, id := range uncovered {
+		named[id] = true
+	}
+	for _, id := range []string{"get_genes_by_enzyme", "link", "binfo"} {
+		if !named[id] {
+			t.Errorf("paper-named module %s missing from uncovered set", id)
+		}
+	}
+}
+
+func round2(x float64) float64 { return math.Round(x*100) / 100 }
+
+func TestTable1CompletenessDistribution(t *testing.T) {
+	dist := map[float64]int{}
+	for _, me := range evaluateAll(t) {
+		dist[round2(me.eval.Completeness)]++
+	}
+	// Paper Table 1 rows: 236@1.0, 8@0.75, 4@0.625→0.63, 4@0.6, 2@0.5.
+	// (The published rows sum to 254 for 252 modules; we reproduce the
+	// row structure exactly, which yields 234 fully characterised.)
+	want := map[float64]int{1: 234, 0.75: 8, 0.63: 4, 0.6: 4, 0.5: 2}
+	if len(dist) != len(want) {
+		t.Errorf("completeness buckets = %v, want %v", dist, want)
+	}
+	for v, n := range want {
+		if dist[v] != n {
+			t.Errorf("completeness %.2f: %d modules, want %d", v, dist[v], n)
+		}
+	}
+}
+
+func TestTable2ConcisenessDistribution(t *testing.T) {
+	dist := map[float64]int{}
+	for _, me := range evaluateAll(t) {
+		dist[round2(me.eval.Conciseness)]++
+	}
+	// Paper Table 2 rows: 192@1, 32@0.5, 7@0.47, 4@0.4, 4@0.33, 8@0.2,
+	// 4@0.17, 1@0.1.
+	want := map[float64]int{1: 192, 0.5: 32, 0.47: 7, 0.4: 4, 0.33: 4, 0.2: 8, 0.17: 4, 0.1: 1}
+	for v, n := range want {
+		if dist[v] != n {
+			t.Errorf("conciseness %.2f: %d modules, want %d (full dist %v)", v, dist[v], n, dist)
+		}
+	}
+	if len(dist) != len(want) {
+		t.Errorf("conciseness buckets = %v, want %v", dist, want)
+	}
+}
+
+func TestUserStudyFigure5(t *testing.T) {
+	u := universe(t)
+	results := RunUserStudy(u.Catalog, DefaultUsers())
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	u1 := results[0]
+	if u1.WithoutExamples != 47 {
+		t.Errorf("user1 without examples = %d, want 47", u1.WithoutExamples)
+	}
+	if u1.WithExamples != 169 {
+		t.Errorf("user1 with examples = %d, want 169", u1.WithExamples)
+	}
+	perKind := map[module.Kind]int{
+		module.KindTransformation: 53,
+		module.KindMapping:        62,
+		module.KindRetrieval:      43,
+		module.KindFiltering:      5,
+		module.KindAnalysis:       6,
+	}
+	for k, n := range perKind {
+		if u1.PerKindWith[k] != n {
+			t.Errorf("user1 %s with examples = %d, want %d", k, u1.PerKindWith[k], n)
+		}
+	}
+	// user2/user3: similar figures, and monotone identification.
+	for _, r := range results[1:] {
+		if r.WithoutExamples < 40 || r.WithoutExamples > 55 {
+			t.Errorf("%s without = %d, want ≈47", r.User, r.WithoutExamples)
+		}
+		if r.WithExamples < 160 || r.WithExamples > 180 {
+			t.Errorf("%s with = %d, want ≈169", r.User, r.WithExamples)
+		}
+		if r.WithExamples < r.WithoutExamples {
+			t.Errorf("%s: identification not monotone", r.User)
+		}
+	}
+	// Monotonicity per module for every user.
+	for _, usr := range DefaultUsers() {
+		for _, e := range u.Catalog.Entries {
+			if usr.IdentifiesWithoutExamples(e) && !usr.IdentifiesWithExamples(e) {
+				t.Errorf("%s loses %s when examples are added", usr.Name, e.Module.ID)
+			}
+		}
+	}
+}
+
+func TestPoolRealizationsExistForAllConcepts(t *testing.T) {
+	u := universe(t)
+	for _, concept := range u.Ont.Concepts() {
+		c, _ := u.Ont.Concept(concept)
+		if c.Abstract {
+			continue
+		}
+		switch concept {
+		case CRoot, CAlignReport, CIdentReport, CSummaryReport:
+			continue // outputs only; never partitioned as inputs
+		}
+		if len(u.Pool.Direct(concept)) == 0 {
+			t.Errorf("concept %s has no pool realizations", concept)
+		}
+	}
+}
+
+func TestCatalogDeterminism(t *testing.T) {
+	a := NewUniverse()
+	b := NewUniverse()
+	if len(a.Catalog.Entries) != len(b.Catalog.Entries) {
+		t.Fatal("catalog sizes differ")
+	}
+	for i := range a.Catalog.Entries {
+		ma, mb := a.Catalog.Entries[i].Module, b.Catalog.Entries[i].Module
+		if ma.ID != mb.ID || ma.Form != mb.Form || ma.Provider != mb.Provider {
+			t.Errorf("entry %d differs: %s/%s", i, ma.ID, mb.ID)
+		}
+	}
+	// Example generation is identical across universes.
+	set1, _, err := a.Gen.Generate(a.Catalog.Entries[10].Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set2, _, err := b.Gen.Generate(b.Catalog.Entries[10].Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set1) != len(set2) {
+		t.Fatal("example sets differ in size")
+	}
+	for i := range set1 {
+		if !set1[i].Equal(set2[i]) {
+			t.Errorf("example %d differs", i)
+		}
+	}
+}
+
+func TestCatalogEntryLookup(t *testing.T) {
+	u := universe(t)
+	e, ok := u.Catalog.Get("get_genes_by_enzyme")
+	if !ok || e.Module.Kind != module.KindMapping {
+		t.Errorf("Get(get_genes_by_enzyme) = %+v, %v", e, ok)
+	}
+	if _, ok := u.Catalog.Get("ghost"); ok {
+		t.Error("ghost module found")
+	}
+	if len(u.Catalog.Modules()) != 252 {
+		t.Error("Modules() size")
+	}
+}
+
+// TestDistributionSummary prints the measured distributions when -v is
+// set; useful when tuning the catalog.
+func TestDistributionSummary(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("summary only under -v")
+	}
+	comp := map[string][]string{}
+	conc := map[string][]string{}
+	for _, me := range evaluateAll(t) {
+		ck := fmt.Sprintf("%.2f", me.eval.Completeness)
+		comp[ck] = append(comp[ck], me.entry.Module.ID)
+		nk := fmt.Sprintf("%.2f", me.eval.Conciseness)
+		conc[nk] = append(conc[nk], me.entry.Module.ID)
+	}
+	keys := func(m map[string][]string) []string {
+		var ks []string
+		for k := range m {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		return ks
+	}
+	for _, k := range keys(comp) {
+		t.Logf("completeness %s: %d", k, len(comp[k]))
+	}
+	for _, k := range keys(conc) {
+		t.Logf("conciseness %s: %d %v", k, len(conc[k]), truncate(conc[k], 6))
+	}
+}
+
+func truncate(s []string, n int) []string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

@@ -1,0 +1,205 @@
+package simulation
+
+import (
+	"strings"
+
+	"dexa/internal/instances"
+	"dexa/internal/ontology"
+	"dexa/internal/simulation/bio"
+	"dexa/internal/typesys"
+)
+
+// recordKindConcept maps bio.ClassifyRecord kinds to ontology concepts.
+var recordKindConcept = map[string]string{
+	"uniprot": CUniprotRecord, "pir": CPIRRecord, "pdb": CPDBRecord,
+	"fasta": CFastaRecord, "genpept": CGenPeptRecord,
+	"genbank": CGenBankRecord, "embl": CEMBLRecord, "ddbj": CDDBJRecord,
+	"glycan": CGlycanRecord, "ligand": CLigandRecord, "compound": CCompoundRecord,
+	"drug": CDrugRecord, "reaction": CReactionRecord, "enzyme": CEnzymeRecord,
+	"pathway": CPathwayRecord,
+}
+
+// accessionKindConcept maps bio.ClassifyAccession kinds to concepts.
+var accessionKindConcept = map[string]string{
+	"uniprot": CUniprotAcc, "pir": CPIRAcc, "genbank": CGenBankAcc,
+	"embl": CEMBLAcc, "pdb": CPDBAcc, "go": CGOTerm,
+	"kegg-compound": CKEGGCompoundID, "kegg-gene": CKEGGGeneID,
+	"kegg-pathway": CKEGGPathwayID, "enzyme": CEnzymeID,
+	"glycan": CGlycanID, "ligand": CLigandID, "gene": CGeneName,
+}
+
+// sequenceKindConcept maps bio.ClassifySequence kinds to concepts.
+var sequenceKindConcept = map[string]string{
+	"dna": CDNASequence, "rna": CRNASequence, "protein": CProtSequence,
+}
+
+// programNames and databaseNames are the parameter vocabularies used by
+// the catalog's configurable modules.
+var programNames = bio.Algorithms()
+
+var databaseNames = []string{"uniprot", "genbank", "pdb", "kegg", "ddbj"}
+
+// ClassifyValue maps a value to the most specific ontology concept it
+// instantiates, or "" when undeterminable. It is the simulation-wide
+// fallback classifier that lets output-partition coverage work for values
+// that never appeared in the instance pool.
+func ClassifyValue(v typesys.Value) string {
+	switch w := v.(type) {
+	case typesys.StringValue:
+		return classifyString(string(w))
+	case typesys.ListValue:
+		return classifyList(w)
+	default:
+		return ""
+	}
+}
+
+func classifyString(s string) string {
+	if s == "" {
+		return ""
+	}
+	if c := classifyReport(s); c != "" {
+		return c
+	}
+	if strings.Contains(s, "\n") {
+		if kind := bio.ClassifyRecord(s); kind != "" {
+			return recordKindConcept[kind]
+		}
+		return classifyDocument(s)
+	}
+	if kind := bio.ClassifyAccession(s); kind != "" {
+		if kind == "gene" {
+			// Lower-case program/database vocabulary words also match the
+			// loose gene-name pattern; check them first.
+			if isVocab(s, programNames) {
+				return CProgramName
+			}
+			if isVocab(s, databaseNames) {
+				return CDatabaseName
+			}
+		}
+		return accessionKindConcept[kind]
+	}
+	if kind := bio.ClassifySequence(s); kind != "" {
+		return sequenceKindConcept[kind]
+	}
+	if isVocab(s, programNames) {
+		return CProgramName
+	}
+	if isVocab(s, databaseNames) {
+		return CDatabaseName
+	}
+	if isTaxonName(s) {
+		return CTaxonName
+	}
+	if strings.ContainsAny(s, "XBZJ*") && !strings.Contains(s, " ") {
+		// Extended-alphabet sequence: a generic biological sequence.
+		return CBioSequence
+	}
+	if strings.Contains(s, " ") {
+		return classifyDocument(s)
+	}
+	return ""
+}
+
+// classifyReport recognises the report dialects the analysis and
+// summarisation modules emit.
+func classifyReport(s string) string {
+	switch {
+	case strings.HasPrefix(s, "ALIGNMENT "):
+		return CAlignReport
+	case strings.HasPrefix(s, "IDENT "):
+		return CIdentReport
+	case strings.HasPrefix(s, "SUMMARY "), strings.HasPrefix(s, "FORMAT "),
+		strings.HasPrefix(s, "MOTIFS "), strings.HasPrefix(s, "TEXT "),
+		strings.HasPrefix(s, "QC "), strings.HasPrefix(s, "MOLECULE "):
+		return CSummaryReport
+	default:
+		return ""
+	}
+}
+
+func classifyDocument(s string) string {
+	switch {
+	case strings.HasPrefix(s, "ANNOTATION"):
+		return CAnnotDoc
+	case strings.HasPrefix(s, "Studies of"):
+		return CTextDoc
+	case strings.Contains(s, " "):
+		return CDocument
+	default:
+		return ""
+	}
+}
+
+func isVocab(s string, vocab []string) bool {
+	for _, v := range vocab {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+func isTaxonName(s string) bool {
+	parts := strings.Fields(s)
+	if len(parts) != 2 {
+		return false
+	}
+	genus, species := parts[0], parts[1]
+	return len(genus) > 1 && genus[0] >= 'A' && genus[0] <= 'Z' &&
+		strings.ToLower(genus[1:]) == genus[1:] &&
+		strings.ToLower(species) == species && !strings.HasSuffix(species, ".")
+}
+
+func classifyList(l typesys.ListValue) string {
+	if l.Elem.Equal(typesys.FloatType) {
+		return CPeptideMassList
+	}
+	if !l.Elem.Equal(typesys.StringType) || len(l.Items) == 0 {
+		return ""
+	}
+	first := string(l.Items[0].(typesys.StringValue))
+	switch bio.ClassifySequence(first) {
+	case "dna":
+		return CDNAList
+	case "rna":
+		return CRNAList
+	case "protein":
+		return CProtSeqList
+	}
+	switch bio.ClassifyAccession(first) {
+	case "gene":
+		return CGeneNameList
+	case "go":
+		return CGOTermList
+	case "":
+		return ""
+	default:
+		return CAccList
+	}
+}
+
+// RegisterClassifiers installs the simulation classifier on the pool for
+// every concept, so output values produced by any module can be assigned
+// to the partitions of that module's output annotation. The classifier
+// only reports concepts inside the requested root's subtree; for leaf
+// roots it falls back to the root itself (a value produced under a leaf
+// annotation is an instance of that leaf by construction).
+func RegisterClassifiers(ont *ontology.Ontology, pool *instances.Pool) {
+	for _, root := range ont.Concepts() {
+		root := root
+		err := pool.RegisterClassifier(root, func(v typesys.Value) string {
+			if c := ClassifyValue(v); c != "" && ont.Subsumes(root, c) {
+				return c
+			}
+			if ont.IsLeaf(root) {
+				return root
+			}
+			return ""
+		})
+		if err != nil {
+			panic(err)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package simulation
+
+import (
+	"encoding/json"
+	"testing"
+
+	"dexa/internal/dataexample"
+	"dexa/internal/match"
+	"dexa/internal/module"
+	"dexa/internal/typesys"
+)
+
+// Catalog-wide invariants: properties the paper's method relies on and
+// that must hold for every one of the 252 modules.
+
+// TestEveryModuleSelfEquivalent: a module compared against itself (via a
+// fresh clone sharing the executor) must always come out Equivalent —
+// the matcher's reflexivity.
+func TestEveryModuleSelfEquivalent(t *testing.T) {
+	u := universe(t)
+	cmp := match.NewComparer(u.Ont, u.Gen)
+	for _, e := range u.Catalog.Entries {
+		m := e.Module
+		clone := &module.Module{
+			ID: m.ID + "@clone", Name: m.Name, Kind: m.Kind, Form: m.Form,
+			Inputs:  append([]module.Parameter(nil), m.Inputs...),
+			Outputs: append([]module.Parameter(nil), m.Outputs...),
+		}
+		clone.Bind(module.ExecFunc(func(in map[string]typesys.Value) (map[string]typesys.Value, error) {
+			return m.Invoke(in)
+		}))
+		res, err := cmp.Compare(m, clone)
+		if err != nil {
+			t.Fatalf("%s: %v", m.ID, err)
+		}
+		if res.Verdict != match.Equivalent {
+			t.Errorf("%s vs its clone: %v (%d/%d)", m.ID, res.Verdict, res.Agreeing, res.Compared)
+		}
+	}
+}
+
+// TestEveryExampleSetRoundTripsJSON: the annotation artefact of every
+// module survives persistence byte-exactly at the value level.
+func TestEveryExampleSetRoundTripsJSON(t *testing.T) {
+	u := universe(t)
+	for _, e := range u.Catalog.Entries {
+		set, _, err := u.Gen.Generate(e.Module)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Module.ID, err)
+		}
+		data, err := json.Marshal(set)
+		if err != nil {
+			t.Fatalf("%s marshal: %v", e.Module.ID, err)
+		}
+		var got dataexample.Set
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("%s unmarshal: %v", e.Module.ID, err)
+		}
+		if len(got) != len(set) {
+			t.Fatalf("%s: size changed", e.Module.ID)
+		}
+		for i := range set {
+			if !got[i].Equal(set[i]) {
+				t.Errorf("%s: example %d changed across JSON", e.Module.ID, i)
+			}
+		}
+	}
+}
+
+// TestEveryModuleRepeatable: invoking a catalog module twice on the same
+// inputs yields identical outputs — the determinism the §6 comparison
+// assumes of scientific modules.
+func TestEveryModuleRepeatable(t *testing.T) {
+	u := universe(t)
+	for _, e := range u.Catalog.Entries {
+		set, _, err := u.Gen.Generate(e.Module)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Module.ID, err)
+		}
+		if len(set) == 0 {
+			continue
+		}
+		again, err := e.Module.Invoke(set[0].Inputs)
+		if err != nil {
+			t.Fatalf("%s re-invoke: %v", e.Module.ID, err)
+		}
+		for name, v := range set[0].Outputs {
+			if !again[name].Equal(v) {
+				t.Errorf("%s: output %s changed on re-invocation", e.Module.ID, name)
+			}
+		}
+	}
+}
+
+// TestBehaviorOraclesTotalOverExamples: every generated example must be
+// classifiable by its module's ground-truth oracle (otherwise the
+// completeness metric silently undercounts).
+func TestBehaviorOraclesTotalOverExamples(t *testing.T) {
+	u := universe(t)
+	for _, e := range u.Catalog.Entries {
+		set, _, err := u.Gen.Generate(e.Module)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Module.ID, err)
+		}
+		for i, ex := range set {
+			if _, ok := e.Behavior.ClassOf(ex.Inputs); !ok {
+				t.Errorf("%s: example %d not classifiable by its oracle (inputs %v)", e.Module.ID, i, ex.Inputs)
+			}
+		}
+		// Declared classes are unique.
+		seen := map[string]bool{}
+		for _, c := range e.Behavior.ClassList {
+			if seen[c] {
+				t.Errorf("%s: duplicate behaviour class %q", e.Module.ID, c)
+			}
+			seen[c] = true
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package simulation assembles the synthetic experimental universe of the
+// reproduction: the myGrid-like domain ontology, the pool of annotated
+// instances, the 252-module catalog with ground-truth behaviour classes
+// (Table 3), the simulated annotators of the §5 user study, and the
+// workflow repository with its decay model for the §6 matching experiment.
+//
+// Everything is deterministic; the experiment harness (package experiment)
+// runs the paper's method over this universe and reports measured numbers
+// next to the published ones.
+package simulation
+
+import (
+	"dexa/internal/ontology"
+)
+
+// Ontology concept IDs used throughout the simulation. Subtree sizes are
+// load-bearing: the partition counts they induce (via
+// ontology.Partitions) produce the completeness/conciseness ratios of
+// Tables 1 and 2.
+const (
+	CRoot = "BioinformaticsData"
+
+	// Sequences: Partitions(CBioSequence) = 4, Partitions(CNucSequence) = 2.
+	CBioSequence  = "BiologicalSequence"
+	CNucSequence  = "NucleotideSequence" // abstract
+	CDNASequence  = "DNASequence"
+	CRNASequence  = "RNASequence"
+	CProtSequence = "ProteinSequence"
+
+	// Identifiers: Partitions(CAccession) = 10, Partitions(CProtAccession)
+	// = Partitions(CNucAccession) = 2.
+	CIdentifier     = "Identifier"       // abstract
+	CAccession      = "Accession"        // abstract
+	CProtAccession  = "ProteinAccession" // abstract
+	CUniprotAcc     = "UniprotAccession"
+	CPIRAcc         = "PIRAccession"
+	CNucAccession   = "NucleotideAccession" // abstract
+	CGenBankAcc     = "GenBankAccession"
+	CEMBLAcc        = "EMBLAccession"
+	CPDBAcc         = "PDBAccession"
+	CKEGGGeneID     = "KEGGGeneID"
+	CGeneName       = "GeneName"
+	CGlycanID       = "GlycanID"
+	CLigandID       = "LigandID"
+	CKEGGCompoundID = "KEGGCompoundID"
+	CGOTerm         = "GOTerm"
+	CEnzymeID       = "EnzymeID"
+	CKEGGPathwayID  = "KEGGPathwayID"
+
+	// Records: Partitions(CBioRecord) = 15, Partitions(CProtRecord) = 5,
+	// Partitions(CNucRecord) = 3, Partitions(CSmallMolRecord) = 6.
+	CBioRecord      = "BiologicalRecord" // abstract
+	CProtRecord     = "ProteinRecord"    // abstract
+	CUniprotRecord  = "UniprotRecord"
+	CPIRRecord      = "PIRRecord"
+	CPDBRecord      = "PDBRecord"
+	CFastaRecord    = "FastaRecord"
+	CGenPeptRecord  = "GenPeptRecord"
+	CNucRecord      = "NucleotideRecord" // abstract
+	CGenBankRecord  = "GenBankRecord"
+	CEMBLRecord     = "EMBLRecord"
+	CDDBJRecord     = "DDBJRecord"
+	CSmallMolRecord = "SmallMoleculeRecord" // abstract
+	CGlycanRecord   = "GlycanRecord"
+	CLigandRecord   = "LigandRecord"
+	CCompoundRecord = "CompoundRecord"
+	CDrugRecord     = "DrugRecord"
+	CReactionRecord = "ReactionRecord"
+	CEnzymeRecord   = "EnzymeRecord"
+	CPathwayRecord  = "PathwayRecord"
+
+	// Collections: Partitions(CSeqList) = 3, Partitions(CIdentList) = 3.
+	CSeqList      = "SequenceCollection" // abstract
+	CDNAList      = "DNASequenceList"
+	CRNAList      = "RNASequenceList"
+	CProtSeqList  = "ProteinSequenceList"
+	CIdentList    = "IdentifierCollection" // abstract
+	CAccList      = "AccessionList"
+	CGOTermList   = "GOTermList"
+	CGeneNameList = "GeneNameList"
+
+	// Documents: Partitions(CDocument) = 3.
+	CDocument = "Document"
+	CTextDoc  = "TextDocument"
+	CAnnotDoc = "AnnotationDocument"
+
+	// Reports (always annotated at leaf level by the catalog).
+	CReport        = "Report" // abstract
+	CAlignReport   = "AlignmentReport"
+	CIdentReport   = "IdentificationReport"
+	CSummaryReport = "SummaryReport"
+
+	// Numeric and parameter leaves.
+	CNumeric         = "NumericValue" // abstract
+	CPercentage      = "Percentage"
+	CThreshold       = "Threshold"
+	CMassValue       = "MassValue"
+	CRatioValue      = "RatioValue"
+	CScoreValue      = "ScoreValue"
+	CPeptideMassList = "PeptideMassList"
+	CParameter       = "ParameterSetting" // abstract
+	CProgramName     = "ProgramName"
+	CDatabaseName    = "DatabaseName"
+	CTaxonName       = "TaxonName"
+)
+
+// BuildOntology constructs the myGrid-like domain ontology used by every
+// experiment.
+func BuildOntology() *ontology.Ontology {
+	o := ontology.New("mygrid-sim")
+	add := o.MustAddConcept
+	abstract := func(id string) {
+		if err := o.MarkAbstract(id); err != nil {
+			panic(err)
+		}
+	}
+
+	add(CRoot, "Bioinformatics data")
+
+	add(CBioSequence, "Biological sequence", CRoot)
+	add(CNucSequence, "Nucleotide sequence", CBioSequence)
+	add(CDNASequence, "DNA sequence", CNucSequence)
+	add(CRNASequence, "RNA sequence", CNucSequence)
+	add(CProtSequence, "Protein sequence", CBioSequence)
+	abstract(CNucSequence)
+
+	add(CIdentifier, "Identifier", CRoot)
+	abstract(CIdentifier)
+	add(CAccession, "Accession", CIdentifier)
+	abstract(CAccession)
+	add(CProtAccession, "Protein accession", CAccession)
+	abstract(CProtAccession)
+	add(CUniprotAcc, "Uniprot accession", CProtAccession)
+	add(CPIRAcc, "PIR accession", CProtAccession)
+	add(CNucAccession, "Nucleotide accession", CAccession)
+	abstract(CNucAccession)
+	add(CGenBankAcc, "GenBank accession", CNucAccession)
+	add(CEMBLAcc, "EMBL accession", CNucAccession)
+	add(CPDBAcc, "PDB accession", CAccession)
+	add(CKEGGGeneID, "KEGG gene identifier", CAccession)
+	add(CGeneName, "Gene name", CAccession)
+	add(CGlycanID, "Glycan identifier", CAccession)
+	add(CLigandID, "Ligand identifier", CAccession)
+	add(CKEGGCompoundID, "KEGG compound identifier", CAccession)
+	add(CGOTerm, "Gene Ontology term", CIdentifier)
+	add(CEnzymeID, "Enzyme EC number", CIdentifier)
+	add(CKEGGPathwayID, "KEGG pathway identifier", CIdentifier)
+
+	add(CBioRecord, "Biological record", CRoot)
+	abstract(CBioRecord)
+	add(CProtRecord, "Protein record", CBioRecord)
+	abstract(CProtRecord)
+	add(CUniprotRecord, "Uniprot record", CProtRecord)
+	add(CPIRRecord, "PIR record", CProtRecord)
+	add(CPDBRecord, "PDB record", CProtRecord)
+	add(CFastaRecord, "Fasta record", CProtRecord)
+	add(CGenPeptRecord, "GenPept record", CProtRecord)
+	add(CNucRecord, "Nucleotide record", CBioRecord)
+	abstract(CNucRecord)
+	add(CGenBankRecord, "GenBank record", CNucRecord)
+	add(CEMBLRecord, "EMBL record", CNucRecord)
+	add(CDDBJRecord, "DDBJ record", CNucRecord)
+	add(CSmallMolRecord, "Small molecule record", CBioRecord)
+	abstract(CSmallMolRecord)
+	add(CGlycanRecord, "Glycan record", CSmallMolRecord)
+	add(CLigandRecord, "Ligand record", CSmallMolRecord)
+	add(CCompoundRecord, "Compound record", CSmallMolRecord)
+	add(CDrugRecord, "Drug record", CSmallMolRecord)
+	add(CReactionRecord, "Reaction record", CSmallMolRecord)
+	add(CEnzymeRecord, "Enzyme record", CSmallMolRecord)
+	add(CPathwayRecord, "Pathway record", CBioRecord)
+
+	add(CSeqList, "Sequence collection", CRoot)
+	abstract(CSeqList)
+	add(CDNAList, "DNA sequence list", CSeqList)
+	add(CRNAList, "RNA sequence list", CSeqList)
+	add(CProtSeqList, "Protein sequence list", CSeqList)
+	add(CIdentList, "Identifier collection", CRoot)
+	abstract(CIdentList)
+	add(CAccList, "Accession list", CIdentList)
+	add(CGOTermList, "GO term list", CIdentList)
+	add(CGeneNameList, "Gene name list", CIdentList)
+
+	add(CDocument, "Document", CRoot)
+	add(CTextDoc, "Text document", CDocument)
+	add(CAnnotDoc, "Annotation document", CDocument)
+
+	add(CReport, "Report", CRoot)
+	abstract(CReport)
+	add(CAlignReport, "Alignment report", CReport)
+	add(CIdentReport, "Identification report", CReport)
+	add(CSummaryReport, "Summary report", CReport)
+
+	add(CNumeric, "Numeric value", CRoot)
+	abstract(CNumeric)
+	add(CPercentage, "Percentage", CNumeric)
+	add(CThreshold, "Threshold", CNumeric)
+	add(CMassValue, "Mass value", CNumeric)
+	add(CRatioValue, "Ratio value", CNumeric)
+	add(CScoreValue, "Score value", CNumeric)
+	add(CPeptideMassList, "Peptide mass list", CRoot)
+	add(CParameter, "Parameter setting", CRoot)
+	abstract(CParameter)
+	add(CProgramName, "Program name", CParameter)
+	add(CDatabaseName, "Database name", CParameter)
+	add(CTaxonName, "Taxon name", CRoot)
+
+	if err := o.Validate(); err != nil {
+		panic(err)
+	}
+	return o
+}

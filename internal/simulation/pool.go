@@ -1,0 +1,250 @@
+package simulation
+
+import (
+	"fmt"
+
+	"dexa/internal/instances"
+	"dexa/internal/ontology"
+	"dexa/internal/simulation/bio"
+	"dexa/internal/typesys"
+)
+
+// SeedPool builds the curator-supplied part of the instance pool: for every
+// non-abstract concept, perConcept realization instances derived from the
+// database. (The paper allows exactly this: input values "can be specified
+// by soliciting from the human annotator examples input values that belong
+// to the respective partitions"; the provenance harvest of §4.1 merges on
+// top.) Every instance is checked to really be a realization of its
+// concept — an instance classified into a strict subconcept would silently
+// break the partition semantics.
+func SeedPool(ont *ontology.Ontology, db *bio.Database, perConcept int) *instances.Pool {
+	if perConcept <= 0 {
+		perConcept = 3
+	}
+	pool := instances.NewPool(ont)
+	for _, concept := range ont.Concepts() {
+		c, _ := ont.Concept(concept)
+		if c.Abstract {
+			continue
+		}
+		gen, ok := seedGenerator(concept, db)
+		if !ok {
+			continue
+		}
+		added := 0
+		for i := 0; added < perConcept && i < perConcept*40; i++ {
+			v := gen(i)
+			if v == nil {
+				continue
+			}
+			// Realization check: the classifier (when it can speak) must
+			// agree the value instantiates exactly this concept.
+			if got := ClassifyValue(v); got != "" && got != concept {
+				continue
+			}
+			before := pool.Len()
+			if err := pool.Add(concept, v, fmt.Sprintf("seed:%s/%d", concept, i)); err != nil {
+				panic(err)
+			}
+			if pool.Len() > before {
+				added++
+			}
+		}
+		if added == 0 {
+			panic(fmt.Sprintf("simulation: no realization generated for concept %s", concept))
+		}
+	}
+	RegisterClassifiers(ont, pool)
+	return pool
+}
+
+// seedGenerator returns a deterministic value generator for a concept, or
+// false for concepts that are never used as inputs and need no seeds.
+func seedGenerator(concept string, db *bio.Database) (func(i int) typesys.Value, bool) {
+	entry := func(i int) bio.Entry {
+		e, _ := db.ByIndex((i*17 + 5) % db.Len())
+		return e
+	}
+	str := func(f func(int) string) func(int) typesys.Value {
+		return func(i int) typesys.Value { return typesys.Str(f(i)) }
+	}
+	recStr := func(f func(bio.Entry) string) func(int) typesys.Value {
+		return func(i int) typesys.Value { return typesys.Str(f(entry(i))) }
+	}
+	switch concept {
+	// Sequences.
+	case CBioSequence:
+		return str(bio.GenericSequence), true
+	case CDNASequence:
+		return str(bio.DNASequence), true
+	case CRNASequence:
+		return str(bio.RNASequence), true
+	case CProtSequence:
+		return func(i int) typesys.Value {
+			p := bio.ProteinSequence(i)
+			if bio.ClassifySequence(p) != "protein" {
+				return nil // rare all-ACGT translation; skip
+			}
+			return typesys.Str(p)
+		}, true
+
+	// Accessions and identifiers.
+	case CUniprotAcc:
+		return func(i int) typesys.Value {
+			e := entry(i)
+			return typesys.Str(e.Accession)
+		}, true
+	case CPIRAcc:
+		return recStr(func(e bio.Entry) string { return bio.PIRAccession(e.Index) }), true
+	case CGenBankAcc:
+		return recStr(func(e bio.Entry) string { return bio.GenBankAccession(e.Index) }), true
+	case CEMBLAcc:
+		return recStr(func(e bio.Entry) string { return bio.EMBLAccession(e.Index) }), true
+	case CPDBAcc:
+		return recStr(func(e bio.Entry) string { return bio.PDBAccession(e.Index) }), true
+	case CKEGGGeneID:
+		return recStr(func(e bio.Entry) string { return bio.KEGGGeneID(e.Index) }), true
+	case CGeneName:
+		return recStr(func(e bio.Entry) string { return e.GeneName }), true
+	case CGlycanID:
+		return recStr(func(e bio.Entry) string { return bio.GlycanID(e.Index) }), true
+	case CLigandID:
+		return recStr(func(e bio.Entry) string { return bio.LigandID(e.Index) }), true
+	case CKEGGCompoundID:
+		return recStr(func(e bio.Entry) string { return bio.KEGGCompoundID(e.Index) }), true
+	case CGOTerm:
+		return recStr(func(e bio.Entry) string { return e.GOTerms[0] }), true
+	case CEnzymeID:
+		return recStr(func(e bio.Entry) string { return e.Enzyme }), true
+	case CKEGGPathwayID:
+		return recStr(func(e bio.Entry) string { return e.Pathway }), true
+
+	// Records.
+	case CUniprotRecord:
+		return recStr(bio.UniprotRecord), true
+	case CPIRRecord:
+		return recStr(bio.PIRRecord), true
+	case CPDBRecord:
+		return recStr(bio.PDBRecord), true
+	case CFastaRecord:
+		return recStr(bio.FastaRecord), true
+	case CGenPeptRecord:
+		return recStr(bio.GenPeptRecord), true
+	case CGenBankRecord:
+		return recStr(bio.GenBankRecord), true
+	case CEMBLRecord:
+		return recStr(bio.EMBLRecord), true
+	case CDDBJRecord:
+		return recStr(bio.DDBJRecord), true
+	case CGlycanRecord:
+		return recStr(bio.GlycanRecord), true
+	case CLigandRecord:
+		return recStr(bio.LigandRecord), true
+	case CCompoundRecord:
+		return recStr(bio.CompoundRecord), true
+	case CDrugRecord:
+		return recStr(bio.DrugRecord), true
+	case CReactionRecord:
+		return recStr(bio.ReactionRecord), true
+	case CEnzymeRecord:
+		return recStr(bio.EnzymeRecord), true
+	case CPathwayRecord:
+		return recStr(bio.PathwayRecord), true
+
+	// Collections.
+	case CDNAList:
+		return seqList(bio.DNASequence), true
+	case CRNAList:
+		return seqList(bio.RNASequence), true
+	case CProtSeqList:
+		return func(i int) typesys.Value {
+			var items []typesys.Value
+			for j := 0; len(items) < 3 && j < 60; j++ {
+				p := bio.ProteinSequence(i*13 + j)
+				if bio.ClassifySequence(p) == "protein" {
+					items = append(items, typesys.Str(p))
+				}
+			}
+			if len(items) < 3 {
+				return nil
+			}
+			return typesys.MustList(typesys.StringType, items...)
+		}, true
+	case CAccList:
+		return func(i int) typesys.Value {
+			return typesys.MustList(typesys.StringType,
+				typesys.Str(bio.UniprotAccession(i*3)),
+				typesys.Str(bio.UniprotAccession(i*3+1)))
+		}, true
+	case CGOTermList:
+		return func(i int) typesys.Value {
+			e := entry(i)
+			items := make([]typesys.Value, len(e.GOTerms))
+			for j, g := range e.GOTerms {
+				items[j] = typesys.Str(g)
+			}
+			return typesys.MustList(typesys.StringType, items...)
+		}, true
+	case CGeneNameList:
+		return func(i int) typesys.Value {
+			return typesys.MustList(typesys.StringType,
+				typesys.Str(bio.GeneName(i*2)), typesys.Str(bio.GeneName(i*2+1)))
+		}, true
+	case CPeptideMassList:
+		return func(i int) typesys.Value {
+			masses := bio.PeptideMasses(entry(i).Protein)
+			items := make([]typesys.Value, len(masses))
+			for j, m := range masses {
+				items[j] = typesys.Floatv(m)
+			}
+			return typesys.MustList(typesys.FloatType, items...)
+		}, true
+
+	// Documents.
+	case CDocument:
+		return func(i int) typesys.Value {
+			return typesys.Str(fmt.Sprintf("Database release notes, section %d. Contents curated quarterly.", i))
+		}, true
+	case CTextDoc:
+		return recStr(bio.TextDocument), true
+	case CAnnotDoc:
+		return func(i int) typesys.Value {
+			e := entry(i)
+			return typesys.Str(fmt.Sprintf("ANNOTATION\nsubject=%s\nterm=%s\nevidence=IEA", e.Accession, e.GOTerms[0]))
+		}, true
+
+	// Reports are produced, not consumed; seed a representative anyway so
+	// registry search demos have something to show.
+	case CAlignReport, CIdentReport, CSummaryReport:
+		return nil, false
+
+	// Numerics and parameters.
+	case CPercentage:
+		return func(i int) typesys.Value { return typesys.Floatv(float64(1 + i*2)) }, true
+	case CThreshold:
+		return func(i int) typesys.Value { return typesys.Floatv(0.25 * float64(1+i%3)) }, true
+	case CMassValue:
+		return func(i int) typesys.Value { return typesys.Floatv(500 + 37.5*float64(i)) }, true
+	case CRatioValue:
+		return func(i int) typesys.Value { return typesys.Floatv(float64(i%10) / 10) }, true
+	case CScoreValue:
+		return func(i int) typesys.Value { return typesys.Floatv(float64(10 + i)) }, true
+	case CProgramName:
+		return func(i int) typesys.Value { return typesys.Str(programNames[i%len(programNames)]) }, true
+	case CDatabaseName:
+		return func(i int) typesys.Value { return typesys.Str(databaseNames[i%len(databaseNames)]) }, true
+	case CTaxonName:
+		return recStr(func(e bio.Entry) string { return e.Species }), true
+	case CRoot:
+		return nil, false
+	default:
+		return nil, false
+	}
+}
+
+func seqList(gen func(int) string) func(int) typesys.Value {
+	return func(i int) typesys.Value {
+		return typesys.MustList(typesys.StringType,
+			typesys.Str(gen(i*11)), typesys.Str(gen(i*11+3)), typesys.Str(gen(i*11+6)))
+	}
+}

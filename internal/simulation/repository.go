@@ -1,0 +1,136 @@
+package simulation
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dexa/internal/module"
+	"dexa/internal/workflow"
+)
+
+// buildRepository generates the myExperiment-style workflow repository:
+// repoHealthy workflows over available modules, and repoBroken workflows
+// referencing legacy modules in the proportions that drive Figure 8 —
+// popular legacy modules recur across many workflows, which is exactly why
+// 16 equivalent substitutes repair hundreds of workflows.
+func (lw *LegacyWorld) buildRepository() {
+	rng := rand.New(rand.NewSource(2014))
+	avail := lw.universe.Catalog.Modules()
+
+	var (
+		equiv    []*LegacyModule
+		usable   []*LegacyModule
+		deadPool []*module.Module
+	)
+	for _, lm := range lw.Traced {
+		switch {
+		case lm.Expected == ExpectEquivalent:
+			equiv = append(equiv, lm)
+		case lm.ContextUsable:
+			usable = append(usable, lm)
+		default:
+			deadPool = append(deadPool, lm.Module)
+		}
+	}
+	for _, m := range lw.Untraced {
+		deadPool = append(deadPool, m)
+	}
+
+	n := 0
+	addWorkflow := func(name string, mods []*module.Module, overrides map[string]map[string]string) {
+		n++
+		wf := composeRepositoryWorkflow(fmt.Sprintf("myexp-%04d", n), name, mods, overrides)
+		lw.Workflows = append(lw.Workflows, wf)
+	}
+
+	// Healthy workflows: 1-2 available modules each.
+	for i := 0; i < repoHealthy; i++ {
+		mods := []*module.Module{avail[rng.Intn(len(avail))]}
+		if rng.Intn(3) == 0 {
+			mods = append(mods, avail[rng.Intn(len(avail))])
+		}
+		addWorkflow("healthy pipeline", mods, nil)
+	}
+
+	// Equivalent-repairable workflows: popularity-weighted legacy usage
+	// (weights sum to repoEquivRepairable).
+	weights := []int{40, 30, 28, 25, 22, 20, 18, 15, 12, 10, 8, 6, 5, 4, 3, 2}
+	if len(weights) != len(equiv) {
+		panic("simulation: weight table does not match equivalent legacy count")
+	}
+	for wi, lm := range equiv {
+		for k := 0; k < weights[wi]; k++ {
+			mods := []*module.Module{lm.Module, avail[rng.Intn(len(avail))]}
+			addWorkflow("decayed pipeline (equivalent substitute exists)", mods, nil)
+		}
+	}
+
+	// Context-repairable workflows: the six usable overlapping modules
+	// spread over 13 workflows, each fed the narrow concept its substitute
+	// agrees on.
+	usableCounts := []int{3, 2, 2, 2, 2, 2}
+	if len(usableCounts) != len(usable) {
+		panic("simulation: usable count table does not match usable legacy count")
+	}
+	for ui, lm := range usable {
+		for k := 0; k < usableCounts[ui]; k++ {
+			overrides := map[string]map[string]string{"s0": lm.Context}
+			addWorkflow("decayed pipeline (contextual substitute exists)", []*module.Module{lm.Module}, overrides)
+		}
+	}
+
+	// Partially repairable workflows: one equivalent legacy plus one
+	// untraced legacy.
+	for i := 0; i < repoPartial; i++ {
+		mods := []*module.Module{
+			equiv[i%len(equiv)].Module,
+			lw.Untraced[i%len(lw.Untraced)],
+		}
+		addWorkflow("decayed pipeline (partially repairable)", mods, nil)
+	}
+
+	// Broken-beyond-repair workflows.
+	for i := 0; i < repoDeadBroken; i++ {
+		mods := []*module.Module{deadPool[i%len(deadPool)]}
+		if rng.Intn(4) == 0 {
+			mods = append(mods, avail[rng.Intn(len(avail))])
+		}
+		addWorkflow("decayed pipeline (no substitute)", mods, nil)
+	}
+}
+
+// composeRepositoryWorkflow builds a workflow whose steps run the given
+// modules on independent branches: every step input is fed by its own
+// workflow input port and every step output feeds a workflow output port.
+// overrides narrows the semantic annotation of selected step inputs
+// (stepID -> param -> concept), modelling upstream context.
+func composeRepositoryWorkflow(id, name string, mods []*module.Module, overrides map[string]map[string]string) *workflow.Workflow {
+	wf := &workflow.Workflow{ID: id, Name: name}
+	for si, m := range mods {
+		stepID := fmt.Sprintf("s%d", si)
+		wf.Steps = append(wf.Steps, workflow.Step{ID: stepID, ModuleID: m.ID})
+		for _, p := range m.Inputs {
+			portName := fmt.Sprintf("%s_%s", stepID, p.Name)
+			semantic := p.Semantic
+			if ov, ok := overrides[stepID]; ok {
+				if c, ok := ov[p.Name]; ok {
+					semantic = c
+				}
+			}
+			wf.Inputs = append(wf.Inputs, workflow.Port{Name: portName, Struct: p.Struct, Semantic: semantic})
+			wf.Links = append(wf.Links, workflow.Link{
+				From: workflow.PortRef{Port: portName},
+				To:   workflow.PortRef{Step: stepID, Port: p.Name},
+			})
+		}
+		for _, p := range m.Outputs {
+			portName := fmt.Sprintf("%s_%s", stepID, p.Name)
+			wf.Outputs = append(wf.Outputs, workflow.Port{Name: portName, Struct: p.Struct, Semantic: p.Semantic})
+			wf.Links = append(wf.Links, workflow.Link{
+				From: workflow.PortRef{Step: stepID, Port: p.Name},
+				To:   workflow.PortRef{Port: portName},
+			})
+		}
+	}
+	return wf
+}

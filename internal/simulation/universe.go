@@ -1,0 +1,159 @@
+package simulation
+
+import (
+	"fmt"
+
+	"dexa/internal/core"
+	"dexa/internal/instances"
+	"dexa/internal/ontology"
+	"dexa/internal/provenance"
+	"dexa/internal/registry"
+	"dexa/internal/simulation/bio"
+	"dexa/internal/typesys"
+	"dexa/internal/workflow"
+)
+
+// Universe bundles every component of the experimental world: the domain
+// ontology, the synthetic databases, the annotated instance pool (curator
+// seeds plus a provenance harvest), the 252-module catalog registered in a
+// module registry, and a ready-to-use example generator.
+type Universe struct {
+	Ont      *ontology.Ontology
+	DB       *bio.Database
+	Pool     *instances.Pool
+	Catalog  *Catalog
+	Registry *registry.Registry
+	Gen      *core.Generator
+	// Bootstrap is the provenance corpus recorded while seeding the pool
+	// (the stand-in for the public Taverna corpus of §4.1).
+	Bootstrap *provenance.Corpus
+}
+
+// NewUniverse builds the standard experimental universe.
+func NewUniverse() *Universe {
+	u := &Universe{
+		Ont: BuildOntology(),
+		DB:  bio.NewDatabase(bio.DefaultSize),
+	}
+	u.Pool = SeedPool(u.Ont, u.DB, 3)
+	u.Catalog = BuildCatalog(u.DB)
+	AssignUserFlags(u.Catalog)
+	u.Registry = registry.New()
+	for _, e := range u.Catalog.Entries {
+		u.Registry.MustRegister(e.Module)
+	}
+	u.Bootstrap = u.runBootstrapWorkflows()
+	u.Bootstrap.HarvestInto(u.Pool)
+	u.Gen = core.NewGenerator(u.Ont, u.Pool)
+	return u
+}
+
+// runBootstrapWorkflows enacts a handful of classic leaf-annotated
+// pipelines with provenance capture, mirroring §4.1's harvest of the
+// Taverna provenance corpus into the pool of annotated instances.
+func (u *Universe) runBootstrapWorkflows() *provenance.Corpus {
+	corpus := provenance.NewCorpus()
+	en := &workflow.Enactor{Reg: u.Registry, Recorder: corpus}
+
+	// Protein identification (Figure 1): Identify -> GetRecord ->
+	// SearchSimple.
+	protID := &workflow.Workflow{
+		ID: "wf-protein-identification", Name: "Protein identification",
+		Inputs: []workflow.Port{
+			{Name: "masses", Struct: typesys.ListOf(typesys.FloatType), Semantic: CPeptideMassList},
+			{Name: "error", Struct: typesys.FloatType, Semantic: CPercentage},
+		},
+		Outputs: []workflow.Port{{Name: "report", Struct: typesys.StringType, Semantic: CAlignReport}},
+		Steps: []workflow.Step{
+			{ID: "identify", ModuleID: "identifyProtein"},
+			{ID: "getRecord", ModuleID: "getUniprotRecord"},
+			{ID: "search", ModuleID: "searchSimple", Constants: map[string]typesys.Value{
+				"program":  typesys.Str(bio.AlgoSmithWaterman),
+				"database": typesys.Str("uniprot"),
+			}},
+		},
+		Links: []workflow.Link{
+			{From: workflow.PortRef{Port: "masses"}, To: workflow.PortRef{Step: "identify", Port: "masses"}},
+			{From: workflow.PortRef{Port: "error"}, To: workflow.PortRef{Step: "identify", Port: "error"}},
+			{From: workflow.PortRef{Step: "identify", Port: "accession"}, To: workflow.PortRef{Step: "getRecord", Port: "accession"}},
+			{From: workflow.PortRef{Step: "getRecord", Port: "record"}, To: workflow.PortRef{Step: "search", Port: "record"}},
+			{From: workflow.PortRef{Step: "search", Port: "report"}, To: workflow.PortRef{Port: "report"}},
+		},
+	}
+
+	// Annotation pipeline: GetHomologous -> (per-accession mapping is the
+	// paper's GetGOTerm; here the list flows to pathwayToGenes' cousin).
+	annot := &workflow.Workflow{
+		ID: "wf-annotation", Name: "Protein annotation",
+		Inputs: []workflow.Port{
+			{Name: "accession", Struct: typesys.StringType, Semantic: CUniprotAcc},
+		},
+		Outputs: []workflow.Port{
+			{Name: "terms", Struct: typesys.ListOf(typesys.StringType), Semantic: CGOTermList},
+			{Name: "pathway", Struct: typesys.StringType, Semantic: CKEGGPathwayID},
+		},
+		Steps: []workflow.Step{
+			{ID: "go", ModuleID: "uniprotToGO"},
+			{ID: "pathway", ModuleID: "uniprotToPathway"},
+		},
+		Links: []workflow.Link{
+			{From: workflow.PortRef{Port: "accession"}, To: workflow.PortRef{Step: "go", Port: "accession"}},
+			{From: workflow.PortRef{Port: "accession"}, To: workflow.PortRef{Step: "pathway", Port: "accession"}},
+			{From: workflow.PortRef{Step: "go", Port: "terms"}, To: workflow.PortRef{Port: "terms"}},
+			{From: workflow.PortRef{Step: "pathway", Port: "pathway"}, To: workflow.PortRef{Port: "pathway"}},
+		},
+	}
+
+	// Sequence processing chain: transcribe -> translate -> digest.
+	seqChain := &workflow.Workflow{
+		ID: "wf-sequence-chain", Name: "Sequence processing",
+		Inputs: []workflow.Port{
+			{Name: "dna", Struct: typesys.StringType, Semantic: CDNASequence},
+		},
+		Outputs: []workflow.Port{{Name: "masses", Struct: typesys.ListOf(typesys.FloatType), Semantic: CPeptideMassList}},
+		Steps: []workflow.Step{
+			{ID: "tx", ModuleID: "transcribe"},
+			{ID: "tl", ModuleID: "translate"},
+			{ID: "digest", ModuleID: "peptideDigest"},
+		},
+		Links: []workflow.Link{
+			{From: workflow.PortRef{Port: "dna"}, To: workflow.PortRef{Step: "tx", Port: "sequence"}},
+			{From: workflow.PortRef{Step: "tx", Port: "result"}, To: workflow.PortRef{Step: "tl", Port: "sequence"}},
+			{From: workflow.PortRef{Step: "tl", Port: "result"}, To: workflow.PortRef{Step: "digest", Port: "protein"}},
+			{From: workflow.PortRef{Step: "digest", Port: "masses"}, To: workflow.PortRef{Port: "masses"}},
+		},
+	}
+
+	for _, wf := range []*workflow.Workflow{protID, annot, seqChain} {
+		if err := wf.Validate(u.Registry, u.Ont); err != nil {
+			panic(fmt.Sprintf("simulation: bootstrap workflow %s invalid: %v", wf.ID, err))
+		}
+	}
+
+	// Enact each workflow on a few deterministic input sets.
+	for i := 0; i < 4; i++ {
+		e, _ := u.DB.ByIndex((i*31 + 3) % u.DB.Len())
+		masses := bio.PeptideMasses(e.Protein)
+		items := make([]typesys.Value, len(masses))
+		for j, m := range masses {
+			items[j] = typesys.Floatv(m)
+		}
+		if _, err := en.Enact(protID, map[string]typesys.Value{
+			"masses": typesys.MustList(typesys.FloatType, items...),
+			"error":  typesys.Floatv(2),
+		}); err != nil {
+			panic(fmt.Sprintf("simulation: bootstrap enactment failed: %v", err))
+		}
+		if _, err := en.Enact(annot, map[string]typesys.Value{
+			"accession": typesys.Str(e.Accession),
+		}); err != nil {
+			panic(fmt.Sprintf("simulation: bootstrap enactment failed: %v", err))
+		}
+		if _, err := en.Enact(seqChain, map[string]typesys.Value{
+			"dna": typesys.Str(e.DNA),
+		}); err != nil {
+			panic(fmt.Sprintf("simulation: bootstrap enactment failed: %v", err))
+		}
+	}
+	return corpus
+}

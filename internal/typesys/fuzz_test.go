@@ -1,0 +1,74 @@
+package typesys
+
+import (
+	"testing"
+)
+
+// FuzzParse checks the type-grammar parser never panics and that every
+// successfully parsed type round-trips through String.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"string", "int", "float", "bool",
+		"list<string>", "list<list<int>>",
+		"record{}", "record{a:string}", "record{a:string,b:list<float>}",
+		"list<record{acc:string,score:float}>",
+		"", "list<", "record{a}", "string int", "record{a:string,}",
+		"list<record{x:bool}>",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		typ, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if !typ.IsValid() {
+			t.Fatalf("Parse(%q) returned invalid type %#v", s, typ)
+		}
+		again, err := Parse(typ.String())
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q) failed: %v", typ.String(), s, err)
+		}
+		if !again.Equal(typ) {
+			t.Fatalf("round trip changed type: %q -> %q", typ, again)
+		}
+	})
+}
+
+// FuzzUnmarshalValue checks the tagged JSON value decoder never panics and
+// that every successfully decoded value re-encodes losslessly.
+func FuzzUnmarshalValue(f *testing.F) {
+	seeds := []string{
+		`{"kind":"string","str":"x"}`,
+		`{"kind":"int","int":3}`,
+		`{"kind":"float","float":2.5}`,
+		`{"kind":"bool","bool":true}`,
+		`{"kind":"null"}`,
+		`{"kind":"list","elem":"string","items":[{"kind":"string","str":"a"}]}`,
+		`{"kind":"record","fields":[{"name":"a","val":{"kind":"int","int":1}}]}`,
+		`{"kind":"list","elem":"nope"}`,
+		`{"kind":"record","fields":[{"name":"","val":{"kind":"int","int":1}}]}`,
+		`{}`, `[]`, `null`, `{"kind":`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := UnmarshalValue(data)
+		if err != nil {
+			return
+		}
+		out, err := MarshalValue(v)
+		if err != nil {
+			t.Fatalf("re-marshal of %s failed: %v", data, err)
+		}
+		again, err := UnmarshalValue(out)
+		if err != nil {
+			t.Fatalf("re-unmarshal of %s failed: %v", out, err)
+		}
+		if !again.Equal(v) {
+			t.Fatalf("value changed across round trip: %s vs %s", v, again)
+		}
+	})
+}

@@ -1,0 +1,140 @@
+package typesys
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// wireValue is the tagged JSON representation of a Value. A tagged encoding
+// (rather than bare JSON scalars) keeps int/float and null/absent
+// distinctions exact across the registry persistence layer and the
+// REST/SOAP transports.
+type wireValue struct {
+	Kind   string          `json:"kind"`
+	Str    *string         `json:"str,omitempty"`
+	Int    *int64          `json:"int,omitempty"`
+	Float  *float64        `json:"float,omitempty"`
+	Bool   *bool           `json:"bool,omitempty"`
+	Elem   string          `json:"elem,omitempty"`   // list element type, Type.String grammar
+	Items  []wireValue     `json:"items,omitempty"`  // list items
+	Fields []wireFieldJSON `json:"fields,omitempty"` // record fields
+}
+
+type wireFieldJSON struct {
+	Name string    `json:"name"`
+	Val  wireValue `json:"val"`
+}
+
+// MarshalValue encodes a Value into its tagged JSON wire form.
+func MarshalValue(v Value) ([]byte, error) {
+	w, err := toWire(v)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalValue decodes a Value from its tagged JSON wire form.
+func UnmarshalValue(data []byte) (Value, error) {
+	var w wireValue
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("typesys: decoding value: %w", err)
+	}
+	return fromWire(w)
+}
+
+func toWire(v Value) (wireValue, error) {
+	switch w := v.(type) {
+	case StringValue:
+		s := string(w)
+		return wireValue{Kind: "string", Str: &s}, nil
+	case IntValue:
+		i := int64(w)
+		return wireValue{Kind: "int", Int: &i}, nil
+	case FloatValue:
+		f := float64(w)
+		return wireValue{Kind: "float", Float: &f}, nil
+	case BoolValue:
+		b := bool(w)
+		return wireValue{Kind: "bool", Bool: &b}, nil
+	case NullValue:
+		return wireValue{Kind: "null"}, nil
+	case ListValue:
+		items := make([]wireValue, len(w.Items))
+		for i, it := range w.Items {
+			wi, err := toWire(it)
+			if err != nil {
+				return wireValue{}, err
+			}
+			items[i] = wi
+		}
+		return wireValue{Kind: "list", Elem: w.Elem.String(), Items: items}, nil
+	case RecordValue:
+		fields := make([]wireFieldJSON, len(w.fields))
+		for i, f := range w.fields {
+			wf, err := toWire(f.val)
+			if err != nil {
+				return wireValue{}, err
+			}
+			fields[i] = wireFieldJSON{Name: f.name, Val: wf}
+		}
+		return wireValue{Kind: "record", Fields: fields}, nil
+	case nil:
+		return wireValue{}, fmt.Errorf("typesys: cannot marshal nil Value")
+	default:
+		return wireValue{}, fmt.Errorf("typesys: cannot marshal value of type %T", v)
+	}
+}
+
+func fromWire(w wireValue) (Value, error) {
+	switch w.Kind {
+	case "string":
+		if w.Str == nil {
+			return nil, fmt.Errorf("typesys: string wire value missing payload")
+		}
+		return StringValue(*w.Str), nil
+	case "int":
+		if w.Int == nil {
+			return nil, fmt.Errorf("typesys: int wire value missing payload")
+		}
+		return IntValue(*w.Int), nil
+	case "float":
+		if w.Float == nil {
+			return nil, fmt.Errorf("typesys: float wire value missing payload")
+		}
+		return FloatValue(*w.Float), nil
+	case "bool":
+		if w.Bool == nil {
+			return nil, fmt.Errorf("typesys: bool wire value missing payload")
+		}
+		return BoolValue(*w.Bool), nil
+	case "null":
+		return Null, nil
+	case "list":
+		elem, err := Parse(w.Elem)
+		if err != nil {
+			return nil, fmt.Errorf("typesys: list wire value element type: %w", err)
+		}
+		items := make([]Value, len(w.Items))
+		for i, wi := range w.Items {
+			it, err := fromWire(wi)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = it
+		}
+		return NewList(elem, items...)
+	case "record":
+		entries := make([]RecordEntry, len(w.Fields))
+		for i, wf := range w.Fields {
+			fv, err := fromWire(wf.Val)
+			if err != nil {
+				return nil, err
+			}
+			entries[i] = RecordEntry{Name: wf.Name, Val: fv}
+		}
+		return NewRecord(entries...)
+	default:
+		return nil, fmt.Errorf("typesys: unknown wire value kind %q", w.Kind)
+	}
+}

@@ -1,0 +1,139 @@
+package workflow
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dexa/internal/typesys"
+)
+
+// JSON persistence for workflows, so repositories (and repaired rewrites)
+// can be stored and exchanged.
+
+type wirePort struct {
+	Name     string `json:"name"`
+	Struct   string `json:"struct"`
+	Semantic string `json:"semantic,omitempty"`
+}
+
+type wireStep struct {
+	ID        string                     `json:"id"`
+	ModuleID  string                     `json:"module"`
+	Constants map[string]json.RawMessage `json:"constants,omitempty"`
+}
+
+type wireLink struct {
+	FromStep string `json:"fromStep,omitempty"`
+	FromPort string `json:"fromPort"`
+	ToStep   string `json:"toStep,omitempty"`
+	ToPort   string `json:"toPort"`
+}
+
+type wireWorkflow struct {
+	Version int        `json:"version"`
+	ID      string     `json:"id"`
+	Name    string     `json:"name,omitempty"`
+	Inputs  []wirePort `json:"inputs,omitempty"`
+	Outputs []wirePort `json:"outputs,omitempty"`
+	Steps   []wireStep `json:"steps"`
+	Links   []wireLink `json:"links"`
+}
+
+const workflowPersistVersion = 1
+
+// Save writes the workflow as JSON.
+func (w *Workflow) Save(out io.Writer) error {
+	doc := wireWorkflow{Version: workflowPersistVersion, ID: w.ID, Name: w.Name}
+	var err error
+	if doc.Inputs, err = portsToWire(w.Inputs); err != nil {
+		return err
+	}
+	if doc.Outputs, err = portsToWire(w.Outputs); err != nil {
+		return err
+	}
+	for _, s := range w.Steps {
+		ws := wireStep{ID: s.ID, ModuleID: s.ModuleID}
+		if len(s.Constants) > 0 {
+			ws.Constants = map[string]json.RawMessage{}
+			for name, v := range s.Constants {
+				data, err := typesys.MarshalValue(v)
+				if err != nil {
+					return fmt.Errorf("workflow %s: step %s constant %s: %w", w.ID, s.ID, name, err)
+				}
+				ws.Constants[name] = data
+			}
+		}
+		doc.Steps = append(doc.Steps, ws)
+	}
+	for _, l := range w.Links {
+		doc.Links = append(doc.Links, wireLink{
+			FromStep: l.From.Step, FromPort: l.From.Port,
+			ToStep: l.To.Step, ToPort: l.To.Port,
+		})
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func portsToWire(ps []Port) ([]wirePort, error) {
+	out := make([]wirePort, len(ps))
+	for i, p := range ps {
+		out[i] = wirePort{Name: p.Name, Struct: p.Struct.String(), Semantic: p.Semantic}
+	}
+	return out, nil
+}
+
+// Load reads a workflow saved by Save. The result is structural only;
+// callers validate it against a registry and ontology before use.
+func Load(in io.Reader) (*Workflow, error) {
+	var doc wireWorkflow
+	if err := json.NewDecoder(in).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("workflow: decoding: %w", err)
+	}
+	if doc.Version != workflowPersistVersion {
+		return nil, fmt.Errorf("workflow: unsupported version %d", doc.Version)
+	}
+	w := &Workflow{ID: doc.ID, Name: doc.Name}
+	var err error
+	if w.Inputs, err = portsFromWire(doc.ID, doc.Inputs); err != nil {
+		return nil, err
+	}
+	if w.Outputs, err = portsFromWire(doc.ID, doc.Outputs); err != nil {
+		return nil, err
+	}
+	for _, ws := range doc.Steps {
+		s := Step{ID: ws.ID, ModuleID: ws.ModuleID}
+		if len(ws.Constants) > 0 {
+			s.Constants = map[string]typesys.Value{}
+			for name, raw := range ws.Constants {
+				v, err := typesys.UnmarshalValue(raw)
+				if err != nil {
+					return nil, fmt.Errorf("workflow %s: step %s constant %s: %w", doc.ID, ws.ID, name, err)
+				}
+				s.Constants[name] = v
+			}
+		}
+		w.Steps = append(w.Steps, s)
+	}
+	for _, wl := range doc.Links {
+		w.Links = append(w.Links, Link{
+			From: PortRef{Step: wl.FromStep, Port: wl.FromPort},
+			To:   PortRef{Step: wl.ToStep, Port: wl.ToPort},
+		})
+	}
+	return w, nil
+}
+
+func portsFromWire(wfID string, wps []wirePort) ([]Port, error) {
+	out := make([]Port, len(wps))
+	for i, wp := range wps {
+		st, err := typesys.Parse(wp.Struct)
+		if err != nil {
+			return nil, fmt.Errorf("workflow %s: port %s: %w", wfID, wp.Name, err)
+		}
+		out[i] = Port{Name: wp.Name, Struct: st, Semantic: wp.Semantic}
+	}
+	return out, nil
+}

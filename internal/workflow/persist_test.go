@@ -1,0 +1,95 @@
+package workflow_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dexa/internal/workflow"
+)
+
+func TestWorkflowSaveLoadRoundTrip(t *testing.T) {
+	f := newFixture(t)
+	var buf bytes.Buffer
+	if err := f.wf.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := workflow.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != f.wf.ID || got.Name != f.wf.Name {
+		t.Errorf("identity changed: %s/%s", got.ID, got.Name)
+	}
+	if len(got.Steps) != len(f.wf.Steps) {
+		t.Fatalf("steps = %d", len(got.Steps))
+	}
+	for i, s := range f.wf.Steps {
+		gs := got.Steps[i]
+		if gs.ID != s.ID || gs.ModuleID != s.ModuleID {
+			t.Errorf("step %d changed: %+v", i, gs)
+		}
+		for name, v := range s.Constants {
+			gv, ok := gs.Constants[name]
+			if !ok || !gv.Equal(v) {
+				t.Errorf("step %s constant %s changed", s.ID, name)
+			}
+		}
+	}
+	if !reflect.DeepEqual(got.Links, f.wf.Links) {
+		t.Errorf("links changed:\n%v\nvs\n%v", got.Links, f.wf.Links)
+	}
+	for i, p := range f.wf.Inputs {
+		gp := got.Inputs[i]
+		if gp.Name != p.Name || !gp.Struct.Equal(p.Struct) || gp.Semantic != p.Semantic {
+			t.Errorf("input %d changed: %+v", i, gp)
+		}
+	}
+	// The reloaded workflow validates and enacts identically.
+	if err := got.Validate(f.reg, f.ont); err != nil {
+		t.Fatalf("reloaded workflow invalid: %v", err)
+	}
+	want, err := workflow.NewEnactor(f.reg).Enact(f.wf, wfInputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := workflow.NewEnactor(f.reg).Enact(got, wfInputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out["report"].Equal(want["report"]) {
+		t.Error("reloaded workflow behaves differently")
+	}
+}
+
+func TestWorkflowLoadErrors(t *testing.T) {
+	bad := []string{
+		`{`,
+		`{"version":99,"id":"x","steps":[],"links":[]}`,
+		`{"version":1,"id":"x","inputs":[{"name":"a","struct":"wat"}],"steps":[],"links":[]}`,
+		`{"version":1,"id":"x","steps":[{"id":"s","module":"m","constants":{"c":{"kind":"??"}}}],"links":[]}`,
+	}
+	for i, s := range bad {
+		if _, err := workflow.Load(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestWorkflowSaveIsStableJSON(t *testing.T) {
+	f := newFixture(t)
+	var a, b bytes.Buffer
+	if err := f.wf.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.wf.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("serialisation not deterministic")
+	}
+	if !strings.Contains(a.String(), `"module": "identify"`) {
+		t.Errorf("unexpected serialisation:\n%s", a.String())
+	}
+}
