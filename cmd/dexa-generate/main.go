@@ -6,6 +6,14 @@
 //	dexa-generate -module getUniprotRecord        # print examples for one module
 //	dexa-generate -all -o registry.json           # annotate all 252, save registry
 //	dexa-generate -module sequenceToFasta -report # include the generation report
+//
+// Chaos mode injects seeded transient faults into every invocation, and
+// -resilient interposes the production executor stack (retry with
+// backoff + jitter, per-module circuit breaker, registry health
+// tracking) between the generator and the faulty modules:
+//
+//	dexa-generate -module getUniprotRecord -chaos 0.3 -report            # naive under faults
+//	dexa-generate -module getUniprotRecord -chaos 0.3 -resilient -report # recovered
 package main
 
 import (
@@ -13,6 +21,8 @@ import (
 	"fmt"
 	"os"
 
+	"dexa/internal/faults"
+	"dexa/internal/resilient"
 	"dexa/internal/simulation"
 )
 
@@ -21,6 +31,11 @@ func main() {
 	all := flag.Bool("all", false, "annotate every catalog module")
 	out := flag.String("o", "", "write the annotated registry as JSON to this file")
 	report := flag.Bool("report", false, "print the generation report")
+	chaos := flag.Float64("chaos", 0, "inject this transient-fault rate into every invocation")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the deterministic fault stream")
+	useResilient := flag.Bool("resilient", false, "invoke through the resilient executor stack (retry/backoff/breaker)")
+	maxAttempts := flag.Int("max-attempts", 0, "resilient stack: attempts per invocation (default policy when 0)")
+	failureThreshold := flag.Int("failure-threshold", 5, "auto-retire a module after this many consecutive transient failures (0 disables)")
 	flag.Parse()
 
 	if *moduleID == "" && !*all {
@@ -30,6 +45,32 @@ func main() {
 
 	fmt.Fprintln(os.Stderr, "building experimental universe...")
 	u := simulation.NewUniverse()
+
+	if *chaos > 0 {
+		profile := faults.Uniform(*chaos)
+		if err := profile.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		inj := faults.NewInjector(*chaosSeed, faults.Plan{Default: profile})
+		for _, e := range u.Catalog.Entries {
+			m := e.Module
+			m.Bind(faults.Wrap(m.ID, m.Executor(), inj))
+		}
+		fmt.Fprintf(os.Stderr, "chaos enabled: %.0f%% transient faults, seed %d\n", 100*profile.TransientRate(), *chaosSeed)
+	}
+	if *useResilient {
+		u.Registry.SetFailureThreshold(*failureThreshold)
+		opts := resilient.Options{
+			Policy:   resilient.Policy{MaxAttempts: *maxAttempts, Seed: *chaosSeed},
+			Reporter: u.Registry,
+		}
+		for _, e := range u.Catalog.Entries {
+			m := e.Module
+			m.Bind(resilient.Wrap(m.ID, m.Executor(), opts))
+		}
+		fmt.Fprintln(os.Stderr, "resilient executor stack enabled")
+	}
 
 	ids := []string{*moduleID}
 	if *all {
@@ -64,11 +105,21 @@ func main() {
 					rep.InputCoverage(), rep.OutputCoverage(), rep.Coverage())
 				fmt.Printf("combinations: %d total, %d failed, %d truncated\n",
 					rep.TotalCombinations, rep.FailedCombinations, rep.Truncated)
+				if rep.TransientRetries > 0 || rep.TransientFailures > 0 {
+					fmt.Printf("transient faults: %d retried, %d combinations lost to persistent faults\n",
+						rep.TransientRetries, rep.TransientFailures)
+				}
 			}
 		}
 	}
 	if *all {
 		fmt.Fprintf(os.Stderr, "annotated %d modules\n", len(ids))
+	}
+	if lines := u.Registry.HealthSummary(); *report && len(lines) > 0 {
+		fmt.Fprintln(os.Stderr, "module health:")
+		for _, l := range lines {
+			fmt.Fprintf(os.Stderr, "  %s\n", l)
+		}
 	}
 	if *out != "" {
 		f, err := os.Create(*out)

@@ -10,6 +10,14 @@
 //	curl http://127.0.0.1:8080/rest/modules/getUniprotRecord
 //	curl -X POST http://127.0.0.1:8080/rest/modules/transcribe/invoke \
 //	     -d '{"inputs":{"sequence":{"kind":"string","str":"ACGT"}}}'
+//
+// Chaos mode turns the provider into a decaying 2014-era service: a
+// seeded share of requests suffers connection resets, 429/503 answers,
+// truncated or garbage bodies, latency spikes, and flapping windows:
+//
+//	dexa-serve -chaos 0.25 -chaos-seed 42 \
+//	           -chaos-latency-rate 0.05 -chaos-latency 300ms \
+//	           -chaos-flap-every 50 -chaos-flap-for 10
 package main
 
 import (
@@ -18,21 +26,49 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"time"
 
+	"dexa/internal/faults"
 	"dexa/internal/simulation"
 	"dexa/internal/transport"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	chaos := flag.Float64("chaos", 0, "transient fault rate in [0,1], spread uniformly over reset/429/503/truncate/garbage")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the deterministic fault stream")
+	latencyRate := flag.Float64("chaos-latency-rate", 0, "probability of a latency spike before a normal answer")
+	latency := flag.Duration("chaos-latency", 250*time.Millisecond, "injected latency per spike")
+	flapEvery := flag.Int("chaos-flap-every", 0, "serve this many requests per module, then go dark (0 disables flapping)")
+	flapFor := flag.Int("chaos-flap-for", 0, "answer 503 for this many requests per dark window")
 	flag.Parse()
 
 	fmt.Fprintln(os.Stderr, "building experimental universe...")
 	u := simulation.NewUniverse()
 
+	restHandler := http.Handler(transport.RESTHandler(u.Registry))
+	soapHandler := http.Handler(transport.SOAPHandler(u.Registry))
+
+	profile := faults.Uniform(*chaos)
+	profile.Latency = *latencyRate
+	profile.LatencyAmount = *latency
+	profile.FlapEvery = *flapEvery
+	profile.FlapFor = *flapFor
+	if err := profile.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if profile.Enabled() {
+		inj := faults.NewInjector(*chaosSeed, faults.Plan{Default: profile})
+		restHandler = faults.Middleware(restHandler, inj, nil)
+		soapHandler = faults.Middleware(soapHandler, inj, nil)
+		fmt.Fprintf(os.Stderr, "chaos enabled: %.0f%% transient faults, %.0f%% latency spikes of %v, seed %d\n",
+			100*profile.TransientRate(), 100*profile.Latency, profile.LatencyAmount, *chaosSeed)
+	}
+
 	mux := http.NewServeMux()
-	mux.Handle("/rest/", http.StripPrefix("/rest", transport.RESTHandler(u.Registry)))
-	mux.Handle("/soap", transport.SOAPHandler(u.Registry))
+	mux.Handle("/rest/", http.StripPrefix("/rest", restHandler))
+	mux.Handle("/soap", soapHandler)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "ok: %d modules available\n", len(u.Registry.Available()))
 	})

@@ -254,9 +254,10 @@ func TestAnnotationStatePersistence(t *testing.T) {
 
 // TestGenerationSurvivesFlakyRemote injects transport failures: the
 // remote provider dies midway through the partition sweep. The generator
-// must treat the failed invocations as abnormal terminations (§3.2 drops
-// those combinations) and still return the examples it obtained, rather
-// than aborting.
+// must classify the 502s as transient transport faults (not §3.2
+// abnormal terminations — the module never rejected the inputs), retry
+// its budget, record the persistent ones as TransientFailures, and still
+// return the examples it obtained rather than aborting.
 func TestGenerationSurvivesFlakyRemote(t *testing.T) {
 	u := integrationUniverse(t)
 	served := registry.New()
@@ -289,8 +290,14 @@ func TestGenerationSurvivesFlakyRemote(t *testing.T) {
 	if len(set) == 0 || len(set) >= 15 {
 		t.Errorf("expected partial example set, got %d", len(set))
 	}
-	if rep.FailedCombinations == 0 {
-		t.Error("failed combinations should be recorded")
+	if rep.TransientFailures == 0 {
+		t.Error("persistent transport faults should be recorded as transient failures")
+	}
+	if rep.TransientRetries == 0 {
+		t.Error("the generator should have retried transient faults")
+	}
+	if rep.FailedCombinations != 0 {
+		t.Errorf("transport faults misreported as %d abnormal terminations", rep.FailedCombinations)
 	}
 	if rep.InputCoverage() >= 1 {
 		t.Error("partial coverage expected under failure injection")

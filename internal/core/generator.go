@@ -88,6 +88,14 @@ type Generator struct {
 	// trace-similarity ablation uses distinct offsets to model unaligned
 	// provenance.
 	SelectionOffset int
+	// TransientRetries is how many extra attempts a combination gets when
+	// an invocation fails with a transient transport fault
+	// (module.TransientError) rather than an abnormal termination (default
+	// 2; negative disables retrying). Transient faults are never treated
+	// as "semantically invalid input combination": a combination that
+	// stays faulty after the retries is reported in
+	// Report.TransientFailures, not FailedCombinations.
+	TransientRetries int
 }
 
 // NewGenerator creates a Generator over the given ontology and instance
@@ -186,8 +194,20 @@ func (g *Generator) Generate(m *module.Module) (dataexample.Set, *Report, error)
 			}
 		}
 		outs, err := m.Invoke(inputs)
+		// Transient transport faults are the network speaking, not the
+		// module: retry them so one dropped connection cannot silently
+		// erase a partition class from the generated example set.
+		for t := 0; err != nil && module.IsTransient(err) && t < g.transientRetries(); t++ {
+			rep.TransientRetries++
+			outs, err = m.Invoke(inputs)
+		}
 		if err != nil {
-			if module.IsExecutionError(err) {
+			switch {
+			case module.IsTransient(err):
+				rep.TransientFailures++
+				advance(idx, perParam)
+				continue
+			case module.IsExecutionError(err):
 				rep.FailedCombinations++
 				advance(idx, perParam)
 				continue
@@ -251,6 +271,20 @@ func (g *Generator) valuesPerPartition() int {
 		return 1
 	}
 	return g.ValuesPerPartition
+}
+
+// DefaultTransientRetries is the extra-attempt budget per combination for
+// transient transport faults.
+const DefaultTransientRetries = 2
+
+func (g *Generator) transientRetries() int {
+	if g.TransientRetries == 0 {
+		return DefaultTransientRetries
+	}
+	if g.TransientRetries < 0 {
+		return 0
+	}
+	return g.TransientRetries
 }
 
 func (g *Generator) maxCombinations() int {
@@ -318,6 +352,15 @@ type Report struct {
 	TotalCombinations  int
 	FailedCombinations int
 	Truncated          int
+
+	// TransientRetries counts invocations retried after a transient
+	// transport fault; TransientFailures counts combinations abandoned
+	// because the fault persisted through every retry. The latter are
+	// *not* abnormal terminations — they mean the example set may be
+	// incomplete for infrastructure reasons, never that the inputs were
+	// semantically invalid.
+	TransientRetries  int
+	TransientFailures int
 
 	// Examples is the number of data examples constructed.
 	Examples int

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"dexa/internal/module"
+	"dexa/internal/typesys"
+)
+
+// flakyExec wraps an executor, failing transiently on a scripted set of
+// call indices (0-based, counting every invocation attempt).
+type flakyExec struct {
+	inner module.Executor
+	kind  module.FaultKind
+
+	mu     sync.Mutex
+	calls  int
+	failOn map[int]bool
+	// always makes every call fail transiently.
+	always bool
+}
+
+func (f *flakyExec) Invoke(in map[string]typesys.Value) (map[string]typesys.Value, error) {
+	f.mu.Lock()
+	n := f.calls
+	f.calls++
+	fail := f.always || f.failOn[n]
+	f.mu.Unlock()
+	if fail {
+		return nil, module.Transient("", f.kind, errors.New("injected transport fault"))
+	}
+	return f.inner.Invoke(in)
+}
+
+// rebindFlaky swaps the module's executor for a flaky wrapper around it.
+func rebindFlaky(m *module.Module, failOn ...int) *flakyExec {
+	fe := &flakyExec{inner: execOf(m), kind: module.FaultConnection, failOn: map[int]bool{}}
+	for _, n := range failOn {
+		fe.failOn[n] = true
+	}
+	m.Bind(fe)
+	return fe
+}
+
+// execOf extracts the bound executor via a probe invocation closure: the
+// module API has no getter, so we rebind through a captured reference.
+func execOf(m *module.Module) module.Executor {
+	return module.ExecFunc(func(in map[string]typesys.Value) (map[string]typesys.Value, error) {
+		s := string(in["seq"].(typesys.StringValue))
+		return map[string]typesys.Value{"acc": typesys.Str("ACC:" + s)}, nil
+	})
+}
+
+func TestGenerateRetriesTransientFaults(t *testing.T) {
+	f := newFixture(t)
+	g := NewGenerator(f.ont, f.pool)
+	m := f.getAccession()
+	baseline, baseRep, err := g.Generate(m)
+	if err != nil {
+		t.Fatalf("baseline Generate: %v", err)
+	}
+	if baseRep.TransientRetries != 0 || baseRep.TransientFailures != 0 {
+		t.Fatalf("baseline transient stats = %+v", baseRep)
+	}
+
+	// Fail the 1st and 4th invocation attempts transiently: with the
+	// default retry budget the generator recovers both combinations and
+	// produces the identical example set.
+	m2 := f.getAccession()
+	rebindFlaky(m2, 0, 3)
+	set, rep, err := g.Generate(m2)
+	if err != nil {
+		t.Fatalf("flaky Generate: %v", err)
+	}
+	if len(set) != len(baseline) {
+		t.Fatalf("flaky run produced %d examples, baseline %d", len(set), len(baseline))
+	}
+	if rep.TransientRetries != 2 {
+		t.Fatalf("TransientRetries = %d, want 2", rep.TransientRetries)
+	}
+	if rep.TransientFailures != 0 {
+		t.Fatalf("TransientFailures = %d, want 0", rep.TransientFailures)
+	}
+	if rep.FailedCombinations != baseRep.FailedCombinations {
+		t.Fatalf("transient faults leaked into FailedCombinations: %d vs %d",
+			rep.FailedCombinations, baseRep.FailedCombinations)
+	}
+	if rep.InputCoverage() != baseRep.InputCoverage() {
+		t.Fatalf("coverage changed under recovered faults: %v vs %v",
+			rep.InputCoverage(), baseRep.InputCoverage())
+	}
+}
+
+func TestGeneratePersistentTransientFaultIsNotAnAbnormalTermination(t *testing.T) {
+	f := newFixture(t)
+	g := NewGenerator(f.ont, f.pool)
+	m := f.getAccession()
+	fe := &flakyExec{inner: execOf(m), kind: module.FaultUnavailable, always: true}
+	m.Bind(fe)
+
+	set, rep, err := g.Generate(m)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(set) != 0 {
+		t.Fatalf("examples = %d, want 0 under total outage", len(set))
+	}
+	// The crucial separation: a dead provider is TransientFailures, never
+	// FailedCombinations (which would claim the inputs were semantically
+	// invalid).
+	if rep.FailedCombinations != 0 {
+		t.Fatalf("FailedCombinations = %d, want 0", rep.FailedCombinations)
+	}
+	if rep.TransientFailures != rep.TotalCombinations {
+		t.Fatalf("TransientFailures = %d, want %d", rep.TransientFailures, rep.TotalCombinations)
+	}
+	// Default budget: 1 initial + 2 retries per combination.
+	if want := rep.TotalCombinations * 2; rep.TransientRetries != want {
+		t.Fatalf("TransientRetries = %d, want %d", rep.TransientRetries, want)
+	}
+}
+
+func TestGenerateTransientRetriesDisabled(t *testing.T) {
+	f := newFixture(t)
+	g := NewGenerator(f.ont, f.pool)
+	g.TransientRetries = -1
+	m := f.getAccession()
+	fe := rebindFlaky(m, 0)
+	set, rep, err := g.Generate(m)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if rep.TransientRetries != 0 || rep.TransientFailures != 1 {
+		t.Fatalf("stats = retries %d failures %d, want 0/1", rep.TransientRetries, rep.TransientFailures)
+	}
+	if fe.calls != 5 {
+		t.Fatalf("executor calls = %d, want 5 (one per combination, no retries)", fe.calls)
+	}
+	if len(set) != 4 {
+		t.Fatalf("examples = %d, want 4 (one combination lost)", len(set))
+	}
+}

@@ -81,7 +81,7 @@ func (s *Suite) Legacy() *simulation.LegacyWorld {
 
 // Experiments lists the available experiment IDs in presentation order.
 func Experiments() []string {
-	return []string{"table3", "coverage", "table1", "table2", "fig5", "fig8", "ablation-partition", "ablation-matchers", "ablation-probing", "dedup"}
+	return []string{"table3", "coverage", "table1", "table2", "fig5", "fig8", "ablation-partition", "ablation-matchers", "ablation-probing", "dedup", "chaos"}
 }
 
 // Run executes one experiment by ID.
@@ -107,6 +107,8 @@ func (s *Suite) Run(id string) (Result, error) {
 		return s.RunAblationProbing(), nil
 	case "dedup":
 		return s.RunDedup(), nil
+	case "chaos":
+		return s.RunChaos(), nil
 	default:
 		return Result{}, fmt.Errorf("experiment: unknown experiment %q (have %v)", id, Experiments())
 	}

@@ -1,0 +1,46 @@
+package faults
+
+import (
+	"context"
+	"errors"
+
+	"dexa/internal/module"
+	"dexa/internal/typesys"
+)
+
+// Executor wraps an inner module executor with fault injection: doomed
+// calls never reach the inner executor and surface as classified
+// transient faults, exactly as the HTTP layers would report them. It lets
+// chaos experiments run in-process, without sockets.
+type Executor struct {
+	ModuleID string
+	Inner    module.Executor
+	Inj      *Injector
+}
+
+// Wrap builds a fault-injecting executor around inner.
+func Wrap(moduleID string, inner module.Executor, inj *Injector) *Executor {
+	return &Executor{ModuleID: moduleID, Inner: inner, Inj: inj}
+}
+
+// Invoke implements module.Executor.
+func (e *Executor) Invoke(inputs map[string]typesys.Value) (map[string]typesys.Value, error) {
+	return e.InvokeContext(context.Background(), inputs)
+}
+
+// InvokeContext implements module.ContextExecutor.
+func (e *Executor) InvokeContext(ctx context.Context, inputs map[string]typesys.Value) (map[string]typesys.Value, error) {
+	switch f := e.Inj.Decide(e.ModuleID); f {
+	case FaultConnReset:
+		return nil, module.Transient(e.ModuleID, module.FaultConnection, errors.New("fault injection: connection reset by peer"))
+	case FaultThrottle:
+		return nil, &module.TransientError{ModuleID: e.ModuleID, Kind: module.FaultThrottled, Status: 429, Err: errors.New("fault injection: too many requests")}
+	case FaultUnavailable:
+		return nil, &module.TransientError{ModuleID: e.ModuleID, Kind: module.FaultUnavailable, Status: 503, Err: errors.New("fault injection: service unavailable")}
+	case FaultTruncate, FaultGarbage:
+		return nil, module.Transient(e.ModuleID, module.FaultMalformed, errors.New("fault injection: "+f.String()+" response body"))
+	case FaultLatency:
+		e.Inj.sleep(e.Inj.Profile(e.ModuleID).LatencyAmount)
+	}
+	return module.InvokeWithContext(ctx, e.Inner, inputs)
+}

@@ -1,0 +1,161 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// RESTModuleOf extracts the module ID from a REST wire-format request
+// path (".../modules/{id}" or ".../modules/{id}/invoke"); it returns ""
+// for anything else, which selects the plan's default profile.
+func RESTModuleOf(r *http.Request) string {
+	path := r.URL.Path
+	idx := strings.Index(path, "/modules/")
+	if idx < 0 {
+		return ""
+	}
+	rest := path[idx+len("/modules/"):]
+	rest = strings.TrimSuffix(rest, "/invoke")
+	if strings.Contains(rest, "/") {
+		return ""
+	}
+	return rest
+}
+
+// Middleware wraps an HTTP handler with server-side fault injection.
+// moduleOf maps a request to the module it targets (nil means
+// RESTModuleOf). Injected faults:
+//
+//   - conn-reset: the connection is aborted mid-response (the client sees
+//     EOF / connection reset), via http.ErrAbortHandler.
+//   - throttle / unavailable: 429 / 503 with a text body — deliberately
+//     not the JSON/XML wire format, like a real load balancer answering
+//     for a dead backend.
+//   - truncate: the inner handler runs, but only half its response body
+//     is sent.
+//   - garbage: a 200 carrying undecodable junk.
+//   - latency: the answer is delayed, then served normally.
+func Middleware(h http.Handler, inj *Injector, moduleOf func(*http.Request) string) http.Handler {
+	if moduleOf == nil {
+		moduleOf = RESTModuleOf
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch inj.Decide(moduleOf(r)) {
+		case FaultConnReset:
+			panic(http.ErrAbortHandler)
+		case FaultThrottle:
+			http.Error(w, "fault injection: rate limit exceeded", http.StatusTooManyRequests)
+			return
+		case FaultUnavailable:
+			http.Error(w, "fault injection: upstream unavailable", http.StatusServiceUnavailable)
+			return
+		case FaultGarbage:
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte("\x1f\x8b\x00garbage\xffnot-a-wire-format\x00\x02"))
+			return
+		case FaultTruncate:
+			rec := &captureWriter{header: http.Header{}, status: http.StatusOK}
+			h.ServeHTTP(rec, r)
+			for k, vs := range rec.header {
+				for _, v := range vs {
+					w.Header().Add(k, v)
+				}
+			}
+			w.WriteHeader(rec.status)
+			body := rec.buf.Bytes()
+			_, _ = w.Write(body[:len(body)/2])
+			return
+		case FaultLatency:
+			inj.sleep(inj.Profile(moduleOf(r)).LatencyAmount)
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// captureWriter buffers a handler's full response so the middleware can
+// replay a mutated version of it.
+type captureWriter struct {
+	header http.Header
+	status int
+	buf    bytes.Buffer
+}
+
+func (c *captureWriter) Header() http.Header { return c.header }
+
+func (c *captureWriter) WriteHeader(status int) { c.status = status }
+
+func (c *captureWriter) Write(p []byte) (int, error) { return c.buf.Write(p) }
+
+// ErrInjectedReset is the error surfaced by a RoundTripper conn-reset
+// fault.
+var ErrInjectedReset = errors.New("fault injection: connection reset by peer")
+
+// RoundTripper wraps an http.RoundTripper with client-side fault
+// injection, for chaos against servers that cannot be wrapped themselves.
+type RoundTripper struct {
+	// Base performs real round trips; nil means http.DefaultTransport.
+	Base http.RoundTripper
+	// Inj decides the fault per request.
+	Inj *Injector
+	// ModuleOf maps requests to module IDs; nil means RESTModuleOf.
+	ModuleOf func(*http.Request) string
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	moduleOf := t.ModuleOf
+	if moduleOf == nil {
+		moduleOf = RESTModuleOf
+	}
+	id := moduleOf(req)
+	switch t.Inj.Decide(id) {
+	case FaultConnReset:
+		return nil, ErrInjectedReset
+	case FaultThrottle:
+		return synthesized(req, http.StatusTooManyRequests, "fault injection: rate limit exceeded"), nil
+	case FaultUnavailable:
+		return synthesized(req, http.StatusServiceUnavailable, "fault injection: upstream unavailable"), nil
+	case FaultGarbage:
+		return synthesized(req, http.StatusOK, "\x1f\x8b\x00garbage\xffnot-a-wire-format\x00\x02"), nil
+	case FaultTruncate:
+		resp, err := base.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(body[:len(body)/2]))
+		resp.ContentLength = int64(len(body) / 2)
+		return resp, nil
+	case FaultLatency:
+		t.Inj.sleep(t.Inj.Profile(id).LatencyAmount)
+	}
+	return base.RoundTrip(req)
+}
+
+// synthesized builds an in-memory HTTP response without touching the
+// network.
+func synthesized(req *http.Request, status int, body string) *http.Response {
+	return &http.Response{
+		StatusCode:    status,
+		Status:        http.StatusText(status),
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"text/plain"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}

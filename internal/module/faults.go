@@ -1,0 +1,133 @@
+package module
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"dexa/internal/typesys"
+)
+
+// FaultKind classifies a transient transport fault. The taxonomy exists to
+// keep two very different failures apart: an *execution error* is the
+// module speaking ("this input combination is outside my domain" — the
+// paper's abnormal-termination signal, §3.2), while a *transient fault* is
+// the network or the provider's infrastructure speaking (timeouts,
+// throttling, flapping availability — the service-decay reality of §6).
+// Conflating them corrupts generated data examples: a dropped connection
+// would masquerade as a semantically invalid partition.
+type FaultKind int
+
+// The transient fault kinds.
+const (
+	// FaultUnknown is an unclassified transient fault.
+	FaultUnknown FaultKind = iota
+	// FaultTimeout: the call exceeded its deadline.
+	FaultTimeout
+	// FaultConnection: the connection failed, reset, or dropped mid-flight.
+	FaultConnection
+	// FaultThrottled: the provider rejected the call due to rate limiting
+	// (HTTP 429).
+	FaultThrottled
+	// FaultUnavailable: the provider is temporarily down (HTTP 5xx, open
+	// circuit breaker, flapping service window).
+	FaultUnavailable
+	// FaultMalformed: the provider answered 200 but the body was truncated
+	// or garbage — common when chaos (or a broken proxy) garbles a reply.
+	FaultMalformed
+)
+
+// String returns the lexical fault-kind name.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultTimeout:
+		return "timeout"
+	case FaultConnection:
+		return "connection"
+	case FaultThrottled:
+		return "throttled"
+	case FaultUnavailable:
+		return "unavailable"
+	case FaultMalformed:
+		return "malformed"
+	default:
+		return "unknown"
+	}
+}
+
+// TransientError reports a transport-level fault during a module
+// invocation. It is retryable and is never an abnormal termination:
+// Module.Invoke passes it through unwrapped (rather than converting it to
+// an *ExecutionError), so the generation heuristic can retry the
+// combination instead of discarding its partition class.
+type TransientError struct {
+	// ModuleID names the module whose invocation faulted; may be empty when
+	// the fault happened below the module layer.
+	ModuleID string
+	// Kind classifies the fault.
+	Kind FaultKind
+	// Status is the HTTP status that triggered the fault, when applicable.
+	Status int
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *TransientError) Error() string {
+	id := e.ModuleID
+	if id == "" {
+		id = "?"
+	}
+	if e.Status != 0 {
+		return fmt.Sprintf("module %s: transient %s fault (status %d): %v", id, e.Kind, e.Status, e.Err)
+	}
+	return fmt.Sprintf("module %s: transient %s fault: %v", id, e.Kind, e.Err)
+}
+
+// Unwrap returns the underlying cause.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// IsTransient reports whether err is (or wraps) a TransientError — a
+// retryable transport fault rather than a module-level abnormal
+// termination.
+func IsTransient(err error) bool {
+	var te *TransientError
+	return errors.As(err, &te)
+}
+
+// FaultKindOf returns the fault kind of a transient error, or FaultUnknown
+// and false when err is not transient.
+func FaultKindOf(err error) (FaultKind, bool) {
+	var te *TransientError
+	if errors.As(err, &te) {
+		return te.Kind, true
+	}
+	return FaultUnknown, false
+}
+
+// Transient wraps err as a TransientError of the given kind. A nil err
+// yields a TransientError with a generic cause so callers can always
+// return the result directly.
+func Transient(moduleID string, kind FaultKind, err error) *TransientError {
+	if err == nil {
+		err = errors.New(kind.String() + " fault")
+	}
+	return &TransientError{ModuleID: moduleID, Kind: kind, Err: err}
+}
+
+// ContextExecutor is an Executor whose invocations honour a context
+// deadline or cancellation. Remote executors (REST, SOAP) implement it;
+// the resilient wrapper uses it to enforce per-attempt timeouts.
+type ContextExecutor interface {
+	Executor
+	InvokeContext(ctx context.Context, inputs map[string]typesys.Value) (map[string]typesys.Value, error)
+}
+
+// InvokeWithContext invokes exec with ctx when it supports contexts, and
+// plainly otherwise.
+func InvokeWithContext(ctx context.Context, exec Executor, inputs map[string]typesys.Value) (map[string]typesys.Value, error) {
+	if ce, ok := exec.(ContextExecutor); ok {
+		return ce.InvokeContext(ctx, inputs)
+	}
+	return exec.Invoke(inputs)
+}

@@ -162,6 +162,10 @@ func (m *Module) Bind(exec Executor) { m.exec = exec }
 // Bound reports whether an executor is attached.
 func (m *Module) Bound() bool { return m.exec != nil }
 
+// Executor returns the attached executor (nil when unbound), so callers
+// can interpose wrappers — fault injection, resilience — around it.
+func (m *Module) Executor() Executor { return m.exec }
+
 // Input returns the named input parameter.
 func (m *Module) Input(name string) (Parameter, bool) { return findParam(m.Inputs, name) }
 
@@ -242,9 +246,11 @@ func (m *Module) Validate() error {
 // Validation after execution: the executor must return a conforming value
 // for every declared output.
 //
-// Errors from the executor are wrapped in *ExecutionError; declaration and
-// conformance problems are returned as plain errors so callers can tell
-// "the module rejected this combination" from "the caller misused the API".
+// Errors from the executor are wrapped in *ExecutionError, except
+// *TransientError transport faults, which pass through unwrapped (they are
+// retryable, not abnormal terminations); declaration and conformance
+// problems are returned as plain errors so callers can tell "the module
+// rejected this combination" from "the caller misused the API".
 func (m *Module) Invoke(inputs map[string]typesys.Value) (map[string]typesys.Value, error) {
 	if m.exec == nil {
 		return nil, fmt.Errorf("module %s: no executor bound", m.ID)
@@ -280,6 +286,17 @@ func (m *Module) Invoke(inputs map[string]typesys.Value) (map[string]typesys.Val
 	}
 	outs, err := m.exec.Invoke(eff)
 	if err != nil {
+		// Transient transport faults are not the module speaking — they must
+		// not become abnormal terminations, or the generation heuristic would
+		// misreport a dropped connection as a semantically invalid input
+		// combination. Stamp the module ID and pass them through.
+		var te *TransientError
+		if errors.As(err, &te) {
+			if te.ModuleID == "" {
+				te.ModuleID = m.ID
+			}
+			return nil, err
+		}
 		return nil, &ExecutionError{ModuleID: m.ID, Err: err}
 	}
 	for _, p := range m.Outputs {

@@ -1,0 +1,141 @@
+package registry
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"dexa/internal/module"
+	"dexa/internal/typesys"
+)
+
+func healthModule(id string) *module.Module {
+	m := &module.Module{
+		ID: id, Name: id,
+		Inputs:  []module.Parameter{{Name: "in", Struct: typesys.StringType}},
+		Outputs: []module.Parameter{{Name: "out", Struct: typesys.StringType}},
+	}
+	m.Bind(module.ExecFunc(func(in map[string]typesys.Value) (map[string]typesys.Value, error) {
+		return map[string]typesys.Value{"out": in["in"]}, nil
+	}))
+	return m
+}
+
+func TestHealthThresholdRetiresAndSuccessRevives(t *testing.T) {
+	r := New()
+	if err := r.Register(healthModule("m")); err != nil {
+		t.Fatal(err)
+	}
+	r.SetFailureThreshold(3)
+
+	cause := errors.New("connection reset")
+	if r.RecordFailure("m", cause) || r.RecordFailure("m", cause) {
+		t.Fatal("retired before threshold")
+	}
+	if e, _ := r.Get("m"); !e.Available {
+		t.Fatal("module retired too early")
+	}
+	if !r.RecordFailure("m", cause) {
+		t.Fatal("third consecutive failure should retire the module")
+	}
+	e, _ := r.Get("m")
+	if e.Available {
+		t.Fatal("module still available after threshold")
+	}
+	h, ok := r.HealthOf("m")
+	if !ok || !h.AutoRetired || h.ConsecutiveFailures != 3 || h.TotalFailures != 3 {
+		t.Fatalf("health = %+v", h)
+	}
+	if h.LastError != "connection reset" {
+		t.Fatalf("LastError = %q", h.LastError)
+	}
+
+	// A successful probe (half-open recovery) revives an auto-retired module.
+	r.RecordSuccess("m")
+	e, _ = r.Get("m")
+	if !e.Available {
+		t.Fatal("auto-retired module not revived by success")
+	}
+	h, _ = r.HealthOf("m")
+	if h.ConsecutiveFailures != 0 || h.AutoRetired {
+		t.Fatalf("health after revive = %+v", h)
+	}
+}
+
+func TestHealthSuccessResetsConsecutiveCount(t *testing.T) {
+	r := New()
+	if err := r.Register(healthModule("m")); err != nil {
+		t.Fatal(err)
+	}
+	r.SetFailureThreshold(3)
+	r.RecordFailure("m", nil)
+	r.RecordFailure("m", nil)
+	r.RecordSuccess("m")
+	r.RecordFailure("m", nil)
+	r.RecordFailure("m", nil)
+	if e, _ := r.Get("m"); !e.Available {
+		t.Fatal("interleaved success should have reset the consecutive count")
+	}
+}
+
+func TestHealthManualRetirementSticks(t *testing.T) {
+	r := New()
+	if err := r.Register(healthModule("m")); err != nil {
+		t.Fatal(err)
+	}
+	r.SetFailureThreshold(1)
+	if err := r.SetAvailable("m", false); err != nil {
+		t.Fatal(err)
+	}
+	// Success reports must not revive a hand-retired module.
+	r.RecordSuccess("m")
+	if e, _ := r.Get("m"); e.Available {
+		t.Fatal("success revived a manually retired module")
+	}
+}
+
+func TestHealthUnknownModuleIgnored(t *testing.T) {
+	r := New()
+	r.RecordSuccess("ghost")
+	if r.RecordFailure("ghost", nil) {
+		t.Fatal("unknown module reported as retired")
+	}
+	if _, ok := r.HealthOf("ghost"); ok {
+		t.Fatal("unknown module has health")
+	}
+}
+
+func TestHealthSummaryAndConcurrency(t *testing.T) {
+	r := New()
+	for _, id := range []string{"a", "b"} {
+		if err := r.Register(healthModule(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.SetFailureThreshold(5)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				r.RecordFailure("a", errors.New("x"))
+				r.RecordSuccess("b")
+				r.HealthOf("a")
+				r.HealthSummary()
+			}
+		}()
+	}
+	wg.Wait()
+	lines := r.HealthSummary()
+	if len(lines) != 2 {
+		t.Fatalf("summary lines = %d, want 2: %v", len(lines), lines)
+	}
+	if !strings.HasPrefix(lines[0], "a: 0 ok, 400 failed") {
+		t.Fatalf("summary[0] = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "b: 400 ok, 0 failed") {
+		t.Fatalf("summary[1] = %q", lines[1])
+	}
+}

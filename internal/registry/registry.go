@@ -27,12 +27,17 @@ type Entry struct {
 	// Unavailable modules keep their signature and examples — that is what
 	// makes data-example-based substitution possible.
 	Available bool
+	// Health accumulates invocation outcomes reported by the resilient
+	// execution layer; consecutive transient failures can auto-retire the
+	// module (see Registry.SetFailureThreshold).
+	Health Health
 }
 
 // Registry stores module entries keyed by module ID.
 type Registry struct {
-	mu      sync.RWMutex
-	entries map[string]*Entry
+	mu               sync.RWMutex
+	entries          map[string]*Entry
+	failureThreshold int
 }
 
 // New creates an empty registry.
@@ -165,6 +170,10 @@ func (r *Registry) SetAvailable(id string, avail bool) error {
 		return fmt.Errorf("registry: unknown module %q", id)
 	}
 	e.Available = avail
+	if avail {
+		e.Health.AutoRetired = false
+		e.Health.ConsecutiveFailures = 0
+	}
 	return nil
 }
 

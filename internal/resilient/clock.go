@@ -1,0 +1,71 @@
+package resilient
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time so that the retry/backoff and circuit-breaker logic
+// can be tested without real sleeps. The production implementation is
+// SystemClock; tests use a FakeClock and advance it manually.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// SystemClock is the real wall clock.
+type SystemClock struct{}
+
+// Now returns time.Now().
+func (SystemClock) Now() time.Time { return time.Now() }
+
+// Sleep blocks for d.
+func (SystemClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// FakeClock is a manually driven clock. Sleep advances the clock instantly
+// instead of blocking, which keeps retry loops deterministic and fast; Now
+// reflects every Advance and Sleep so breaker cool-downs elapse exactly
+// when a test says they do. Safe for concurrent use.
+type FakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+	// slept accumulates every Sleep duration, so tests can assert on the
+	// total backoff a policy requested.
+	slept time.Duration
+}
+
+// NewFakeClock starts a fake clock at a fixed, arbitrary epoch.
+func NewFakeClock() *FakeClock {
+	return &FakeClock{now: time.Date(2014, 3, 24, 0, 0, 0, 0, time.UTC)}
+}
+
+// Now returns the current fake time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep advances the clock by d without blocking.
+func (c *FakeClock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d > 0 {
+		c.now = c.now.Add(d)
+		c.slept += d
+	}
+}
+
+// Advance moves the clock forward by d.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// Slept returns the total duration passed to Sleep so far.
+func (c *FakeClock) Slept() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.slept
+}

@@ -1,0 +1,209 @@
+// Package resilient wraps module executors with the defensive machinery a
+// production deployment needs when invoking third-party scientific
+// modules: per-attempt timeouts, bounded retry with exponential backoff
+// and full jitter, and a per-module circuit breaker. Its companion is the
+// error taxonomy of package module — only *transient* transport faults
+// (module.TransientError) are retried and counted against provider
+// health; execution errors are the module's own verdict on an input
+// combination and pass through untouched, so the paper's §3.2 generation
+// heuristic keeps its semantics under an unreliable network.
+package resilient
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dexa/internal/module"
+	"dexa/internal/typesys"
+)
+
+// Reporter receives per-call provider-health verdicts. The registry's
+// health tracker implements it; a nil reporter is ignored.
+type Reporter interface {
+	// RecordSuccess notes a healthy round-trip to the module's provider.
+	RecordSuccess(moduleID string)
+	// RecordFailure notes a transient transport failure; the return
+	// reports whether the failure retired the module (the resilient layer
+	// ignores it).
+	RecordFailure(moduleID string, err error) (retired bool)
+}
+
+// Stats counts what the resilient layer did, with atomic counters safe
+// for concurrent readers.
+type Stats struct {
+	// Calls is the number of Invoke calls.
+	Calls atomic.Int64
+	// Attempts is the number of provider round-trips attempted.
+	Attempts atomic.Int64
+	// Retries is the number of attempts beyond each call's first.
+	Retries atomic.Int64
+	// Recovered counts calls that failed transiently at least once but
+	// ultimately reached a verdict (success or execution error).
+	Recovered atomic.Int64
+	// Exhausted counts calls that burned every attempt on transient faults.
+	Exhausted atomic.Int64
+	// ShortCircuited counts attempts rejected by an open breaker.
+	ShortCircuited atomic.Int64
+}
+
+// Options configures a resilient executor wrapper.
+type Options struct {
+	// Policy is the retry policy; zero fields take DefaultPolicy values.
+	Policy Policy
+	// Breaker configures the per-module circuit breaker; zero fields take
+	// defaults.
+	Breaker BreakerConfig
+	// Clock abstracts time for backoff sleeps and breaker cool-downs; nil
+	// means the system clock.
+	Clock Clock
+	// Reporter receives health verdicts; nil disables reporting.
+	Reporter Reporter
+}
+
+// Executor wraps an inner module.Executor with timeout, retry, and
+// circuit breaking. It implements both module.Executor and
+// module.ContextExecutor and is safe for concurrent use.
+type Executor struct {
+	moduleID string
+	inner    module.Executor
+	policy   Policy
+	breaker  *Breaker
+	clock    Clock
+	reporter Reporter
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	// Stats is live while the executor is in use; read with the atomic
+	// accessors.
+	Stats Stats
+}
+
+// Wrap builds a resilient executor around inner for the named module.
+func Wrap(moduleID string, inner module.Executor, opts Options) *Executor {
+	clock := opts.Clock
+	if clock == nil {
+		clock = SystemClock{}
+	}
+	pol := opts.Policy.withDefaults()
+	seed := pol.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Executor{
+		moduleID: moduleID,
+		inner:    inner,
+		policy:   pol,
+		breaker:  NewBreaker(opts.Breaker, clock),
+		clock:    clock,
+		reporter: opts.Reporter,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Breaker exposes the wrapped module's circuit breaker (for inspection
+// and tests).
+func (e *Executor) Breaker() *Breaker { return e.breaker }
+
+// Invoke implements module.Executor.
+func (e *Executor) Invoke(inputs map[string]typesys.Value) (map[string]typesys.Value, error) {
+	return e.InvokeContext(context.Background(), inputs)
+}
+
+// InvokeContext implements module.ContextExecutor: it drives the inner
+// executor through the retry/breaker state machine until a verdict is
+// reached or the attempt budget is spent.
+func (e *Executor) InvokeContext(ctx context.Context, inputs map[string]typesys.Value) (map[string]typesys.Value, error) {
+	e.Stats.Calls.Add(1)
+	var lastErr error
+	faulted := false
+	for attempt := 1; attempt <= e.policy.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			e.Stats.Retries.Add(1)
+			e.clock.Sleep(e.nextBackoff(attempt - 1))
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, module.Transient(e.moduleID, module.FaultTimeout, err)
+		}
+		if err := e.breaker.Allow(); err != nil {
+			e.Stats.ShortCircuited.Add(1)
+			lastErr = e.stamp(err)
+			continue
+		}
+		e.Stats.Attempts.Add(1)
+		outs, err := e.invokeOnce(ctx, inputs)
+		if err == nil {
+			e.breaker.OnSuccess()
+			e.report(nil)
+			if faulted {
+				e.Stats.Recovered.Add(1)
+			}
+			return outs, nil
+		}
+		if !module.IsTransient(err) {
+			// The provider answered; the module itself rejected the inputs
+			// (or the caller misused the API). That is a *healthy* provider.
+			e.breaker.OnSuccess()
+			e.report(nil)
+			if faulted {
+				e.Stats.Recovered.Add(1)
+			}
+			return nil, err
+		}
+		faulted = true
+		e.breaker.OnFailure()
+		e.report(err)
+		lastErr = e.stamp(err)
+	}
+	e.Stats.Exhausted.Add(1)
+	if lastErr == nil {
+		lastErr = module.Transient(e.moduleID, module.FaultUnknown, nil)
+	}
+	return nil, lastErr
+}
+
+// invokeOnce performs one attempt, applying the per-attempt timeout and
+// classifying a raw deadline error as a transient timeout fault.
+func (e *Executor) invokeOnce(ctx context.Context, inputs map[string]typesys.Value) (map[string]typesys.Value, error) {
+	if e.policy.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.policy.AttemptTimeout)
+		defer cancel()
+	}
+	outs, err := module.InvokeWithContext(ctx, e.inner, inputs)
+	if err != nil && !module.IsTransient(err) &&
+		(errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
+		return nil, module.Transient(e.moduleID, module.FaultTimeout, err)
+	}
+	return outs, err
+}
+
+func (e *Executor) nextBackoff(retry int) time.Duration {
+	e.rngMu.Lock()
+	defer e.rngMu.Unlock()
+	return e.policy.backoff(retry, e.rng)
+}
+
+// stamp ensures transient errors carry the module ID.
+func (e *Executor) stamp(err error) error {
+	var te *module.TransientError
+	if errors.As(err, &te) && te.ModuleID == "" {
+		te.ModuleID = e.moduleID
+	}
+	return err
+}
+
+func (e *Executor) report(err error) {
+	if e.reporter == nil {
+		return
+	}
+	if err == nil {
+		e.reporter.RecordSuccess(e.moduleID)
+	} else {
+		e.reporter.RecordFailure(e.moduleID, err)
+	}
+}

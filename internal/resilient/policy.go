@@ -1,0 +1,67 @@
+package resilient
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Policy parameterises the retry behaviour of a resilient executor: how
+// many attempts, how long each may take, and how long to back off between
+// them. Backoff is exponential with *full jitter* — the delay before
+// attempt n is uniform in [0, min(MaxBackoff, BaseBackoff·2ⁿ)] — which
+// decorrelates retry storms when many clients hit a throttling provider
+// at once.
+type Policy struct {
+	// MaxAttempts is the total number of invocation attempts, first try
+	// included (default 4; 1 disables retries).
+	MaxAttempts int
+	// AttemptTimeout bounds each individual attempt via context deadline
+	// when the wrapped executor supports contexts (default 10s; <=0
+	// disables the per-attempt deadline).
+	AttemptTimeout time.Duration
+	// BaseBackoff is the first-retry backoff cap (default 100ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 5s).
+	MaxBackoff time.Duration
+	// Seed makes the jitter deterministic; 0 selects a fixed default seed,
+	// keeping runs reproducible unless a caller opts into variety.
+	Seed int64
+}
+
+// DefaultPolicy is the production default resilience policy.
+var DefaultPolicy = Policy{
+	MaxAttempts:    4,
+	AttemptTimeout: 10 * time.Second,
+	BaseBackoff:    100 * time.Millisecond,
+	MaxBackoff:     5 * time.Second,
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultPolicy.MaxAttempts
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = DefaultPolicy.BaseBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = DefaultPolicy.MaxBackoff
+	}
+	return p
+}
+
+// backoff returns the jittered delay before retry number retry (1-based),
+// drawing from rng.
+func (p Policy) backoff(retry int, rng *rand.Rand) time.Duration {
+	cap := p.BaseBackoff
+	for i := 1; i < retry; i++ {
+		cap *= 2
+		if cap >= p.MaxBackoff {
+			cap = p.MaxBackoff
+			break
+		}
+	}
+	if cap <= 0 {
+		return 0
+	}
+	return time.Duration(rng.Int63n(int64(cap) + 1))
+}

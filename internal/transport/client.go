@@ -1,0 +1,103 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"dexa/internal/module"
+)
+
+// DefaultTimeout bounds every outbound HTTP call made by the transport
+// executors when the caller supplies no client of their own. A scientific
+// provider that stops answering must surface as a classified timeout
+// fault — never as a goroutine hung forever on http.DefaultClient.
+const DefaultTimeout = 30 * time.Second
+
+// DefaultClient is the shared outbound client with DefaultTimeout.
+var DefaultClient = &http.Client{Timeout: DefaultTimeout}
+
+// clientOrDefault never returns a deadline-free client.
+func clientOrDefault(c *http.Client) *http.Client {
+	if c == nil {
+		return DefaultClient
+	}
+	return c
+}
+
+// maxResponseBody caps how much of a response the executors will read —
+// mirrors the 16 MiB request limit the handlers enforce.
+const maxResponseBody = 16 << 20
+
+// snippetLen bounds how much of an unexpected body is quoted in errors.
+const snippetLen = 160
+
+// bodySnippet renders the head of a response body for error messages,
+// keeping it single-line and printable.
+func bodySnippet(body []byte) string {
+	s := body
+	if len(s) > snippetLen {
+		s = s[:snippetLen]
+	}
+	out := make([]rune, 0, len(s))
+	for _, r := range string(s) {
+		if r == '\n' || r == '\r' || r == '\t' {
+			out = append(out, ' ')
+		} else if r < 32 || r == 0xFFFD {
+			out = append(out, '.')
+		} else {
+			out = append(out, r)
+		}
+	}
+	if len(out) == 0 {
+		return "(empty body)"
+	}
+	suffix := ""
+	if len(body) > snippetLen {
+		suffix = "…"
+	}
+	return fmt.Sprintf("%q%s", string(out), suffix)
+}
+
+// classifyDialErr converts an http.Client round-trip error into the
+// transient-fault taxonomy: deadline and timeout failures become timeout
+// faults, everything else (resets, refused connections, aborted
+// responses) a connection fault. Both are retryable — they are the
+// network speaking, not the module.
+func classifyDialErr(moduleID string, err error) error {
+	kind := module.FaultConnection
+	var ne net.Error
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) ||
+		(errors.As(err, &ne) && ne.Timeout()) {
+		kind = module.FaultTimeout
+	}
+	return module.Transient(moduleID, kind, err)
+}
+
+// classifyStatus maps a non-200 HTTP status with an unparseable (non
+// wire-format) body onto the taxonomy. Throttling and gateway-style
+// statuses are transient; anything else is a hard error carrying the
+// status and a body snippet, so a proxy's HTML 502 page never surfaces as
+// a bare "decoding response" mystery.
+func classifyStatus(moduleID string, status int, body []byte) error {
+	switch {
+	case status == http.StatusTooManyRequests:
+		return &module.TransientError{ModuleID: moduleID, Kind: module.FaultThrottled, Status: status,
+			Err: fmt.Errorf("throttled: %s", bodySnippet(body))}
+	case status >= 500:
+		return &module.TransientError{ModuleID: moduleID, Kind: module.FaultUnavailable, Status: status,
+			Err: fmt.Errorf("unavailable: %s", bodySnippet(body))}
+	default:
+		return fmt.Errorf("transport: unexpected status %d: %s", status, bodySnippet(body))
+	}
+}
+
+// looksLikeWireFormat reports whether a body plausibly carries the given
+// wire format (JSON object / XML document) rather than a proxy error page.
+func looksLikeWireFormat(body []byte, prefix string) bool {
+	return strings.HasPrefix(strings.TrimLeft(string(body), " \t\r\n"), prefix)
+}

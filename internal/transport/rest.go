@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -152,20 +153,31 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // RESTExecutor invokes a remote module over the REST wire format. It
-// implements module.Executor, so a local module.Module proxy can be bound
-// to it. Remote execution failures and unreachable endpoints both surface
-// as errors, which the module layer wraps as abnormal terminations.
+// implements module.Executor and module.ContextExecutor, so a local
+// module.Module proxy can be bound to it. Errors are classified: network
+// faults, timeouts, throttling, 5xx answers, and garbled 200 bodies
+// surface as *module.TransientError (retryable); wire-format error
+// answers remain plain errors, which the module layer wraps as abnormal
+// terminations.
 type RESTExecutor struct {
 	// BaseURL is the server root, e.g. "http://host:port".
 	BaseURL string
 	// ModuleID is the remote module identifier.
 	ModuleID string
-	// Client is the HTTP client to use; http.DefaultClient when nil.
+	// Client is the HTTP client to use; a shared client with
+	// DefaultTimeout when nil. A client without a Timeout should only be
+	// supplied together with per-call context deadlines.
 	Client *http.Client
 }
 
-// Invoke performs the remote call.
+// Invoke performs the remote call with no caller-supplied deadline (the
+// client timeout still applies).
 func (e *RESTExecutor) Invoke(inputs map[string]typesys.Value) (map[string]typesys.Value, error) {
+	return e.InvokeContext(context.Background(), inputs)
+}
+
+// InvokeContext performs the remote call, honouring ctx.
+func (e *RESTExecutor) InvokeContext(ctx context.Context, inputs map[string]typesys.Value) (map[string]typesys.Value, error) {
 	req := restInvokeRequest{Inputs: map[string]json.RawMessage{}}
 	for name, v := range inputs {
 		data, err := typesys.MarshalValue(v)
@@ -178,31 +190,52 @@ func (e *RESTExecutor) Invoke(inputs map[string]typesys.Value) (map[string]types
 	if err != nil {
 		return nil, err
 	}
-	client := e.Client
-	if client == nil {
-		client = http.DefaultClient
-	}
 	url := strings.TrimSuffix(e.BaseURL, "/") + "/modules/" + e.ModuleID + "/invoke"
-	resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
 	if err != nil {
 		return nil, fmt.Errorf("transport: %w", err)
 	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := clientOrDefault(e.Client).Do(httpReq)
+	if err != nil {
+		return nil, classifyDialErr(e.ModuleID, err)
+	}
 	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBody+1))
+	if err != nil {
+		return nil, module.Transient(e.ModuleID, module.FaultConnection, fmt.Errorf("reading response: %w", err))
+	}
+	if len(body) > maxResponseBody {
+		return nil, module.Transient(e.ModuleID, module.FaultMalformed, fmt.Errorf("response exceeds %d-byte limit", maxResponseBody))
+	}
+	// Status first: a proxy's 502 HTML page or a load balancer's plain-text
+	// 429 must classify by status, not die in the JSON decoder.
+	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
+			return nil, classifyStatus(e.ModuleID, resp.StatusCode, body)
+		}
+		var out restInvokeResponse
+		if looksLikeWireFormat(body, "{") && json.Unmarshal(body, &out) == nil && out.Error != "" {
+			return nil, fmt.Errorf("transport: remote %s: %s", out.Kind, out.Error)
+		}
+		return nil, classifyStatus(e.ModuleID, resp.StatusCode, body)
+	}
 	var out restInvokeResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("transport: decoding response: %w", err)
+	if err := json.Unmarshal(body, &out); err != nil {
+		// A 200 that does not decode is wire corruption (truncated or
+		// garbled in flight) — transient, retryable.
+		return nil, module.Transient(e.ModuleID, module.FaultMalformed,
+			fmt.Errorf("decoding response: %w (body %s)", err, bodySnippet(body)))
 	}
 	if out.Error != "" {
 		return nil, fmt.Errorf("transport: remote %s: %s", out.Kind, out.Error)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("transport: unexpected status %d", resp.StatusCode)
 	}
 	values := make(map[string]typesys.Value, len(out.Outputs))
 	for name, raw := range out.Outputs {
 		v, err := typesys.UnmarshalValue(raw)
 		if err != nil {
-			return nil, fmt.Errorf("transport: decoding output %s: %w", name, err)
+			return nil, module.Transient(e.ModuleID, module.FaultMalformed,
+				fmt.Errorf("decoding output %s: %w", name, err))
 		}
 		values[name] = v
 	}
@@ -210,22 +243,24 @@ func (e *RESTExecutor) Invoke(inputs map[string]typesys.Value) (map[string]types
 }
 
 // ListRemoteModules fetches the IDs of the modules available at a REST
-// endpoint.
+// endpoint. A nil client falls back to the shared client with
+// DefaultTimeout — never a deadline-free http.DefaultClient.
 func ListRemoteModules(baseURL string, client *http.Client) ([]string, error) {
-	if client == nil {
-		client = http.DefaultClient
-	}
-	resp, err := client.Get(strings.TrimSuffix(baseURL, "/") + "/modules")
+	resp, err := clientOrDefault(client).Get(strings.TrimSuffix(baseURL, "/") + "/modules")
 	if err != nil {
-		return nil, fmt.Errorf("transport: %w", err)
+		return nil, classifyDialErr("", err)
 	}
 	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBody+1))
+	if err != nil {
+		return nil, module.Transient("", module.FaultConnection, fmt.Errorf("reading module list: %w", err))
+	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("transport: unexpected status %d", resp.StatusCode)
+		return nil, classifyStatus("", resp.StatusCode, body)
 	}
 	var ids []string
-	if err := json.NewDecoder(resp.Body).Decode(&ids); err != nil {
-		return nil, fmt.Errorf("transport: decoding module list: %w", err)
+	if err := json.Unmarshal(body, &ids); err != nil {
+		return nil, module.Transient("", module.FaultMalformed, fmt.Errorf("decoding module list: %w", err))
 	}
 	return ids, nil
 }

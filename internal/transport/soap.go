@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"encoding/xml"
 	"fmt"
 	"io"
@@ -135,18 +136,28 @@ func writeSOAP(w http.ResponseWriter, status int, env soapEnvelope) {
 }
 
 // SOAPExecutor invokes a remote module over the SOAP wire format. It
-// implements module.Executor.
+// implements module.Executor and module.ContextExecutor. Errors are
+// classified like the REST executor's: network faults, timeouts,
+// throttling, 5xx answers, and garbled 200 envelopes are retryable
+// *module.TransientError values; proper SOAP faults stay plain errors.
 type SOAPExecutor struct {
 	// Endpoint is the full SOAP endpoint URL.
 	Endpoint string
 	// ModuleID is the remote module identifier.
 	ModuleID string
-	// Client is the HTTP client to use; http.DefaultClient when nil.
+	// Client is the HTTP client to use; a shared client with
+	// DefaultTimeout when nil.
 	Client *http.Client
 }
 
-// Invoke performs the remote call.
+// Invoke performs the remote call with no caller-supplied deadline (the
+// client timeout still applies).
 func (e *SOAPExecutor) Invoke(inputs map[string]typesys.Value) (map[string]typesys.Value, error) {
+	return e.InvokeContext(context.Background(), inputs)
+}
+
+// InvokeContext performs the remote call, honouring ctx.
+func (e *SOAPExecutor) InvokeContext(ctx context.Context, inputs map[string]typesys.Value) (map[string]typesys.Value, error) {
 	req := soapInvokeRequest{Module: e.ModuleID}
 	// Deterministic input order for stable wire traffic.
 	names := make([]string, 0, len(inputs))
@@ -166,37 +177,55 @@ func (e *SOAPExecutor) Invoke(inputs map[string]typesys.Value) (map[string]types
 	if err != nil {
 		return nil, err
 	}
-	client := e.Client
-	if client == nil {
-		client = http.DefaultClient
-	}
-	resp, err := client.Post(e.Endpoint, "text/xml", bytes.NewReader(payload))
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, e.Endpoint, bytes.NewReader(payload))
 	if err != nil {
 		return nil, fmt.Errorf("transport: %w", err)
 	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
+	httpReq.Header.Set("Content-Type", "text/xml")
+	resp, err := clientOrDefault(e.Client).Do(httpReq)
 	if err != nil {
-		return nil, fmt.Errorf("transport: reading response: %w", err)
+		return nil, classifyDialErr(e.ModuleID, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBody+1))
+	if err != nil {
+		return nil, module.Transient(e.ModuleID, module.FaultConnection, fmt.Errorf("reading response: %w", err))
+	}
+	if len(data) > maxResponseBody {
+		return nil, module.Transient(e.ModuleID, module.FaultMalformed, fmt.Errorf("response exceeds %d-byte limit", maxResponseBody))
+	}
+	// Status first: throttling and gateway errors classify by status; only
+	// wire-format answers are handed to the XML decoder.
+	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
+			return nil, classifyStatus(e.ModuleID, resp.StatusCode, data)
+		}
+		var env soapEnvelope
+		if looksLikeWireFormat(data, "<") && xml.Unmarshal(data, &env) == nil && env.Body.Fault != nil {
+			return nil, fmt.Errorf("transport: remote fault %s: %s", env.Body.Fault.Code, env.Body.Fault.Message)
+		}
+		return nil, classifyStatus(e.ModuleID, resp.StatusCode, data)
 	}
 	var env soapEnvelope
 	if err := xml.Unmarshal(data, &env); err != nil {
-		return nil, fmt.Errorf("transport: decoding envelope: %w", err)
+		return nil, module.Transient(e.ModuleID, module.FaultMalformed,
+			fmt.Errorf("decoding envelope: %w (body %s)", err, bodySnippet(data)))
 	}
 	if env.Body.Fault != nil {
 		return nil, fmt.Errorf("transport: remote fault %s: %s", env.Body.Fault.Code, env.Body.Fault.Message)
 	}
 	if env.Body.Response == nil {
-		return nil, fmt.Errorf("transport: envelope carries no response")
+		return nil, module.Transient(e.ModuleID, module.FaultMalformed,
+			fmt.Errorf("envelope carries no response (body %s)", bodySnippet(data)))
 	}
 	values := make(map[string]typesys.Value, len(env.Body.Response.Outputs))
 	for _, out := range env.Body.Response.Outputs {
 		if out.Value == nil {
-			return nil, fmt.Errorf("transport: output %s missing value", out.Name)
+			return nil, module.Transient(e.ModuleID, module.FaultMalformed, fmt.Errorf("output %s missing value", out.Name))
 		}
 		v, err := valueFromXML(*out.Value)
 		if err != nil {
-			return nil, fmt.Errorf("transport: decoding output %s: %w", out.Name, err)
+			return nil, module.Transient(e.ModuleID, module.FaultMalformed, fmt.Errorf("decoding output %s: %w", out.Name, err))
 		}
 		values[out.Name] = v
 	}
