@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench experiments
+.PHONY: ci vet build test race bench bench-smoke experiments
 
-ci: vet build race
+ci: vet build race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -16,8 +16,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+# One iteration of every benchmark: catches benchmarks that no longer
+# compile or crash without paying for a full measurement run.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Full measurement run: writes a BENCH_<date>.json snapshot. Compare
+# against a committed snapshot with:
+#   go run ./cmd/dexa-bench -baseline BENCH_<date>.json
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) run ./cmd/dexa-bench -o BENCH_$$(date +%Y-%m-%d).json
 
 experiments:
 	$(GO) run ./cmd/dexa-experiments

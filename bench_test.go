@@ -13,6 +13,7 @@ import (
 	"dexa/internal/core"
 	"dexa/internal/experiment"
 	"dexa/internal/match"
+	"dexa/internal/module"
 	"dexa/internal/simulation"
 	"dexa/internal/simulation/bio"
 	"dexa/internal/typesys"
@@ -88,18 +89,54 @@ func BenchmarkDedupDetection(b *testing.B) { runExperiment(b, "dedup") }
 // --- micro-benchmarks -----------------------------------------------------
 
 // BenchmarkGenerateExamplesPerCatalog measures one full generation sweep
-// over all 252 modules.
+// over all 252 modules: a plain sequential loop, the worker-pool
+// SweepGenerator, and a warm CachedGenerator (the memoized steady state
+// hit by repeated experiment runs).
 func BenchmarkGenerateExamplesPerCatalog(b *testing.B) {
 	s := benchSuite(b)
-	gen := core.NewGenerator(s.U.Ont, s.U.Pool)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		for _, e := range s.U.Catalog.Entries {
-			if _, _, err := gen.Generate(e.Module); err != nil {
+	mods := make([]*module.Module, len(s.U.Catalog.Entries))
+	for i, e := range s.U.Catalog.Entries {
+		mods[i] = e.Module
+	}
+	b.Run("sequential", func(b *testing.B) {
+		gen := core.NewGenerator(s.U.Ont, s.U.Pool)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, m := range mods {
+				if _, _, err := gen.Generate(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("sweep", func(b *testing.B) {
+		sweep := core.NewSweepGenerator(core.NewGenerator(s.U.Ont, s.U.Pool))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, r := range sweep.Sweep(mods) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	})
+	b.Run("memoized", func(b *testing.B) {
+		cached := core.NewCachedGenerator(core.NewGenerator(s.U.Ont, s.U.Pool))
+		for _, m := range mods { // warm the cache outside timing
+			if _, _, err := cached.Generate(m); err != nil {
 				b.Fatal(err)
 			}
 		}
-	}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, m := range mods {
+				if _, _, err := cached.Generate(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkGenerateSingleModule measures generation for the 15-partition
@@ -132,7 +169,8 @@ func BenchmarkCompareModules(b *testing.B) {
 }
 
 // BenchmarkFindSubstitutes measures a full substitute search over the 252
-// available modules.
+// available modules, sequentially (Workers=1) and with the default
+// GOMAXPROCS candidate fan-out.
 func BenchmarkFindSubstitutes(b *testing.B) {
 	s := benchSuite(b)
 	e, _ := s.U.Catalog.Get("getUniprotRecord")
@@ -140,26 +178,48 @@ func BenchmarkFindSubstitutes(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	cmp := match.NewComparer(s.U.Ont, nil)
+	target := match.Unavailable{Signature: e.Module, Examples: set}
 	available := s.U.Registry.Available()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := cmp.FindSubstitutes(match.Unavailable{Signature: e.Module, Examples: set}, available); err != nil {
-			b.Fatal(err)
+	run := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			cmp := match.NewComparer(s.U.Ont, nil)
+			cmp.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := cmp.FindSubstitutes(target, available); err != nil {
+					b.Fatal(err)
+				}
+			}
 		}
 	}
+	b.Run("sequential", run(1))
+	b.Run("parallel", run(0))
 }
 
 // BenchmarkOntologyPartitions measures the §3.1 partitioning primitive on
-// the widest concept.
+// the widest concept: cold (reachability cache rebuilt every call, the
+// pre-cache behaviour) and warm (the memoized steady state).
 func BenchmarkOntologyPartitions(b *testing.B) {
 	ont := simulation.BuildOntology()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ont.InvalidateCaches()
+			if _, err := ont.Partitions(simulation.CBioRecord); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
 		if _, err := ont.Partitions(simulation.CBioRecord); err != nil {
 			b.Fatal(err)
 		}
-	}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ont.Partitions(simulation.CBioRecord); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkPoolRealization measures the getInstance(c, pl) primitive.
@@ -248,14 +308,25 @@ func BenchmarkAlignmentAlgorithms(b *testing.B) {
 }
 
 // BenchmarkHomologySearch measures a full database scan with
-// Smith-Waterman, the hottest operation behind the analysis modules.
+// Smith-Waterman, the hottest operation behind the analysis modules:
+// the sequential reference scan and the sharded top-k scan.
 func BenchmarkHomologySearch(b *testing.B) {
 	db := bio.NewDatabase(bio.DefaultSize)
 	query := bio.ProteinSequence(7)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if hits := db.HomologySearch(query, bio.AlgoSmithWaterman, 5); len(hits) != 5 {
-			b.Fatal("bad hits")
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if hits := db.HomologySearchSequential(query, bio.AlgoSmithWaterman, 5); len(hits) != 5 {
+				b.Fatal("bad hits")
+			}
 		}
-	}
+	})
+	b.Run("sharded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if hits := db.HomologySearch(query, bio.AlgoSmithWaterman, 5); len(hits) != 5 {
+				b.Fatal("bad hits")
+			}
+		}
+	})
 }

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 
 	"dexa/internal/annotate"
 	"dexa/internal/simulation"
@@ -21,6 +23,7 @@ import (
 func main() {
 	k := flag.Int("k", 5, "number of suggestions per parameter name")
 	showOnt := flag.Bool("ontology", false, "print the domain ontology and exit")
+	workers := flag.Int("workers", 0, "concurrent parameter names to annotate (0 = GOMAXPROCS); output order is unaffected")
 	flag.Parse()
 
 	ont := simulation.BuildOntology()
@@ -33,10 +36,38 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Suggestions are computed concurrently (the annotator only reads the
+	// ontology) but printed in argument order, so the output is identical
+	// at any worker count.
 	a := annotate.NewAnnotator(ont)
-	for _, name := range flag.Args() {
+	names := flag.Args()
+	suggestions := make([][]annotate.Suggestion, len(names))
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(names) {
+		w = len(names)
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				suggestions[i] = a.Suggest(names[i], *k)
+			}
+		}()
+	}
+	for i := range names {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, name := range names {
 		fmt.Printf("%s:\n", name)
-		for _, s := range a.Suggest(name, *k) {
+		for _, s := range suggestions[i] {
 			fmt.Printf("  %-28s %.3f\n", s.Concept, s.Score)
 		}
 	}

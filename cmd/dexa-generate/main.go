@@ -21,7 +21,9 @@ import (
 	"fmt"
 	"os"
 
+	"dexa/internal/core"
 	"dexa/internal/faults"
+	"dexa/internal/module"
 	"dexa/internal/resilient"
 	"dexa/internal/simulation"
 )
@@ -36,6 +38,7 @@ func main() {
 	useResilient := flag.Bool("resilient", false, "invoke through the resilient executor stack (retry/backoff/breaker)")
 	maxAttempts := flag.Int("max-attempts", 0, "resilient stack: attempts per invocation (default policy when 0)")
 	failureThreshold := flag.Int("failure-threshold", 5, "auto-retire a module after this many consecutive transient failures (0 disables)")
+	workers := flag.Int("workers", 0, "concurrent generations for -all (0 = GOMAXPROCS); results are deterministic, but with -chaos the fault placement follows goroutine scheduling at widths > 1")
 	flag.Parse()
 
 	if *moduleID == "" && !*all {
@@ -72,15 +75,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "resilient executor stack enabled")
 	}
 
-	ids := []string{*moduleID}
 	if *all {
-		ids = nil
-		for _, e := range u.Catalog.Entries {
-			ids = append(ids, e.Module.ID)
+		mods := make([]*module.Module, len(u.Catalog.Entries))
+		for i, e := range u.Catalog.Entries {
+			mods[i] = e.Module
 		}
-	}
-
-	for _, id := range ids {
+		sweep := &core.SweepGenerator{Gen: u.Gen, Workers: *workers}
+		for _, r := range sweep.Sweep(mods) {
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "generating for %s: %v\n", r.ModuleID, r.Err)
+				os.Exit(1)
+			}
+			if err := u.Registry.SetExamples(r.ModuleID, r.Examples); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "annotated %d modules\n", len(mods))
+	} else {
+		id := *moduleID
 		entry, ok := u.Catalog.Get(id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown module %q\n", id)
@@ -95,25 +108,20 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if !*all {
-			fmt.Printf("module %s (%s, %s): %d data examples\n", id, entry.Module.Kind, entry.Module.Form, len(set))
-			for i, e := range set {
-				fmt.Printf("  δ%d %s\n", i+1, e)
-			}
-			if *report {
-				fmt.Printf("input coverage: %.2f   output coverage: %.2f   combined: %.2f\n",
-					rep.InputCoverage(), rep.OutputCoverage(), rep.Coverage())
-				fmt.Printf("combinations: %d total, %d failed, %d truncated\n",
-					rep.TotalCombinations, rep.FailedCombinations, rep.Truncated)
-				if rep.TransientRetries > 0 || rep.TransientFailures > 0 {
-					fmt.Printf("transient faults: %d retried, %d combinations lost to persistent faults\n",
-						rep.TransientRetries, rep.TransientFailures)
-				}
+		fmt.Printf("module %s (%s, %s): %d data examples\n", id, entry.Module.Kind, entry.Module.Form, len(set))
+		for i, e := range set {
+			fmt.Printf("  δ%d %s\n", i+1, e)
+		}
+		if *report {
+			fmt.Printf("input coverage: %.2f   output coverage: %.2f   combined: %.2f\n",
+				rep.InputCoverage(), rep.OutputCoverage(), rep.Coverage())
+			fmt.Printf("combinations: %d total, %d failed, %d truncated\n",
+				rep.TotalCombinations, rep.FailedCombinations, rep.Truncated)
+			if rep.TransientRetries > 0 || rep.TransientFailures > 0 {
+				fmt.Printf("transient faults: %d retried, %d combinations lost to persistent faults\n",
+					rep.TransientRetries, rep.TransientFailures)
 			}
 		}
-	}
-	if *all {
-		fmt.Fprintf(os.Stderr, "annotated %d modules\n", len(ids))
 	}
 	if lines := u.Registry.HealthSummary(); *report && len(lines) > 0 {
 		fmt.Fprintln(os.Stderr, "module health:")

@@ -49,17 +49,20 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		cands, err := cmp.FindSubstitutes(
+		subs, err := cmp.FindSubstitutes(
 			match.Unavailable{Signature: target.Module, Examples: set},
 			u.Registry.Available())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("substitutes for %s (%d candidates):\n", *substitutes, len(cands))
-		for _, c := range cands {
+		fmt.Printf("substitutes for %s (%d candidates):\n", *substitutes, len(subs.Ranked))
+		for _, c := range subs.Ranked {
 			fmt.Printf("  %-30s %-12s agreement %d/%d (%.2f)\n",
 				c.Module.ID, c.Result.Verdict, c.Result.Agreeing, c.Result.Compared, c.Result.Score())
+		}
+		for _, sk := range subs.Skipped {
+			fmt.Printf("  %-30s skipped: %s\n", sk.ModuleID, sk.Reason)
 		}
 	case *a != "" && *b != "":
 		ma, mb := lookup(*a), lookup(*b)

@@ -225,12 +225,13 @@ func TestAnnotationStatePersistence(t *testing.T) {
 	}
 	sig, _ := reg2.Get("getUniprotRecord")
 	cmp := match.NewComparer(u.Ont, nil)
-	cands, err := cmp.FindSubstitutes(
+	subs, err := cmp.FindSubstitutes(
 		match.Unavailable{Signature: sig.Module, Examples: sig.Examples},
 		reg2.Available())
 	if err != nil {
 		t.Fatal(err)
 	}
+	cands := subs.Ranked
 	found := false
 	for _, c := range cands {
 		if c.Module.ID == "getUniprotRecord-ddbj" && c.Result.Verdict == match.Equivalent {

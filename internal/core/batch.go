@@ -1,9 +1,6 @@
 package core
 
 import (
-	"sort"
-	"sync"
-
 	"dexa/internal/dataexample"
 	"dexa/internal/module"
 )
@@ -18,38 +15,10 @@ type BatchResult struct {
 }
 
 // GenerateAll runs the heuristic over many modules concurrently and
-// returns per-module results ordered by module ID. Failures are reported
-// per module rather than aborting the batch — a registry sweep should
-// annotate everything it can. workers <= 0 selects a sensible default.
-//
-// The Generator itself is read-only during generation and the pool is
-// concurrency-safe, so one Generator serves all workers.
+// returns per-module results ordered by module ID. It is a convenience
+// front for SweepGenerator, which documents the determinism and
+// concurrency contract; workers <= 0 selects the sweep default
+// (GOMAXPROCS).
 func (g *Generator) GenerateAll(mods []*module.Module, workers int) []BatchResult {
-	if workers <= 0 {
-		workers = 8
-	}
-	if workers > len(mods) {
-		workers = len(mods)
-	}
-	results := make([]BatchResult, len(mods))
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				m := mods[i]
-				set, rep, err := g.Generate(m)
-				results[i] = BatchResult{ModuleID: m.ID, Examples: set, Report: rep, Err: err}
-			}
-		}()
-	}
-	for i := range mods {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	sort.Slice(results, func(i, j int) bool { return results[i].ModuleID < results[j].ModuleID })
-	return results
+	return (&SweepGenerator{Gen: g, Workers: workers}).Sweep(mods)
 }

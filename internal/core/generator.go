@@ -22,6 +22,7 @@ package core
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 
 	"dexa/internal/dataexample"
@@ -90,12 +91,13 @@ type Generator struct {
 	SelectionOffset int
 	// TransientRetries is how many extra attempts a combination gets when
 	// an invocation fails with a transient transport fault
-	// (module.TransientError) rather than an abnormal termination (default
-	// 2; negative disables retrying). Transient faults are never treated
-	// as "semantically invalid input combination": a combination that
-	// stays faulty after the retries is reported in
+	// (module.TransientError) rather than an abnormal termination. nil
+	// selects DefaultTransientRetries; Retries(0) requests exactly zero
+	// retries (negative values also clamp to zero). Transient faults are
+	// never treated as "semantically invalid input combination": a
+	// combination that stays faulty after the retries is reported in
 	// Report.TransientFailures, not FailedCombinations.
-	TransientRetries int
+	TransientRetries *int
 }
 
 // NewGenerator creates a Generator over the given ontology and instance
@@ -140,7 +142,7 @@ func (g *Generator) Generate(m *module.Module) (dataexample.Set, *Report, error)
 			return nil, nil, err
 		}
 		rep.InputPartitions[p.Name] = parts
-		var cs []choice
+		cs := make([]choice, 0, len(parts)*g.valuesPerPartition()+1)
 		for _, part := range parts {
 			found := 0
 			for k := 0; k < g.valuesPerPartition(); k++ {
@@ -183,9 +185,15 @@ func (g *Generator) Generate(m *module.Module) (dataexample.Set, *Report, error)
 	}
 	var set dataexample.Set
 	idx := make([]int, len(perParam))
+	// The combination maps are scratch buffers reused across iterations:
+	// failed and transiently-lost combinations then allocate no maps at
+	// all, and only surviving combinations pay for a clone into their
+	// Example (the Example must own its maps — it outlives the loop).
+	inputs := make(map[string]typesys.Value, len(m.Inputs))
+	partsOf := make(map[string]string, len(m.Inputs))
 	for n := 0; n < combos; n++ {
-		inputs := make(map[string]typesys.Value, len(m.Inputs))
-		partsOf := make(map[string]string, len(m.Inputs))
+		clear(inputs)
+		clear(partsOf)
 		for i, p := range m.Inputs {
 			c := perParam[i][idx[i]]
 			partsOf[p.Name] = c.partition
@@ -215,9 +223,9 @@ func (g *Generator) Generate(m *module.Module) (dataexample.Set, *Report, error)
 			return nil, rep, fmt.Errorf("core: module %s: %w", m.ID, err)
 		}
 		ex := dataexample.Example{
-			Inputs:           inputs,
+			Inputs:           maps.Clone(inputs),
 			Outputs:          outs,
-			InputPartitions:  partsOf,
+			InputPartitions:  maps.Clone(partsOf),
 			OutputPartitions: g.classifyOutputs(m, outs),
 		}
 		set = append(set, ex)
@@ -277,14 +285,20 @@ func (g *Generator) valuesPerPartition() int {
 // transient transport faults.
 const DefaultTransientRetries = 2
 
+// Retries returns a pointer suitable for Generator.TransientRetries, so a
+// caller can request an explicit budget — including exactly zero retries,
+// which the previous int-typed field could not express (its zero value
+// silently meant "default").
+func Retries(n int) *int { return &n }
+
 func (g *Generator) transientRetries() int {
-	if g.TransientRetries == 0 {
+	if g.TransientRetries == nil {
 		return DefaultTransientRetries
 	}
-	if g.TransientRetries < 0 {
+	if *g.TransientRetries < 0 {
 		return 0
 	}
-	return g.TransientRetries
+	return *g.TransientRetries
 }
 
 func (g *Generator) maxCombinations() int {

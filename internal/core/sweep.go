@@ -1,0 +1,92 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"dexa/internal/module"
+)
+
+// SweepGenerator fans the generation heuristic out over a module catalog
+// using a fixed worker pool. It exists because every consumer of batch
+// generation — the coverage experiment, the Table 1/2 reproductions, the
+// ablation benches, the annotation CLI — was re-implementing the same
+// sequential loop over catalog entries; the sweep centralises the fan-out
+// so all of them parallelise (and stay deterministic) the same way.
+//
+// Determinism: workers pick modules off a channel, but every result is
+// written to its own slot and the assembled slice is ordered by module ID
+// before it is returned, so the output is byte-identical to a sequential
+// sweep regardless of worker count or scheduling (the underlying
+// Generator is itself deterministic per module). Per-module Reports and
+// the transient-retry semantics of Generate are preserved untouched —
+// the sweep adds scheduling, never behaviour.
+//
+// Concurrency: the Generator is read-only during generation and the
+// instance pool is concurrency-safe, so one Generator serves all workers.
+// Module executors are invoked concurrently across (never within) modules;
+// executors shared between modules must tolerate that, as the transport
+// and simulation executors in this repository do.
+type SweepGenerator struct {
+	// Gen runs the per-module heuristic. Required.
+	Gen *Generator
+	// Workers is the fan-out width; <= 0 selects runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// NewSweepGenerator returns a sweep over g with the default worker count.
+func NewSweepGenerator(g *Generator) *SweepGenerator {
+	return &SweepGenerator{Gen: g}
+}
+
+func (s *SweepGenerator) workers(jobs int) int {
+	w := s.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Sweep runs Generate on every module and returns per-module results
+// ordered by module ID. Failures are reported per module rather than
+// aborting the batch — a registry sweep should annotate everything it can.
+func (s *SweepGenerator) Sweep(mods []*module.Module) []BatchResult {
+	results := make([]BatchResult, len(mods))
+	if s.workers(len(mods)) == 1 {
+		// Inline fast path: a one-worker pool would pay a channel handoff
+		// per module for no concurrency.
+		for i, m := range mods {
+			set, rep, err := s.Gen.Generate(m)
+			results[i] = BatchResult{ModuleID: m.ID, Examples: set, Report: rep, Err: err}
+		}
+		sort.Slice(results, func(i, j int) bool { return results[i].ModuleID < results[j].ModuleID })
+		return results
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < s.workers(len(mods)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				m := mods[i]
+				set, rep, err := s.Gen.Generate(m)
+				results[i] = BatchResult{ModuleID: m.ID, Examples: set, Report: rep, Err: err}
+			}
+		}()
+	}
+	for i := range mods {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	sort.Slice(results, func(i, j int) bool { return results[i].ModuleID < results[j].ModuleID })
+	return results
+}

@@ -125,7 +125,7 @@ func TestGeneratePersistentTransientFaultIsNotAnAbnormalTermination(t *testing.T
 func TestGenerateTransientRetriesDisabled(t *testing.T) {
 	f := newFixture(t)
 	g := NewGenerator(f.ont, f.pool)
-	g.TransientRetries = -1
+	g.TransientRetries = Retries(0)
 	m := f.getAccession()
 	fe := rebindFlaky(m, 0)
 	set, rep, err := g.Generate(m)

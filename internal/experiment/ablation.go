@@ -20,15 +20,11 @@ func (s *Suite) RunAblationPartitioning() Result {
 		gen := core.NewGenerator(s.U.Ont, s.U.Pool)
 		gen.Strategy = strategy
 		var comp, conc float64
-		for _, e := range s.U.Catalog.Entries {
-			set, _, err := gen.Generate(e.Module)
-			if err != nil {
-				panic(fmt.Sprintf("experiment: ablation generate %s: %v", e.Module.ID, err))
-			}
-			ev := metrics.Evaluate(set, e.Behavior)
+		for i, r := range s.sweepCatalog(gen, "ablation") {
+			ev := metrics.Evaluate(r.Examples, s.U.Catalog.Entries[i].Behavior)
 			comp += ev.Completeness
 			conc += ev.Conciseness
-			examples += len(set)
+			examples += len(r.Examples)
 		}
 		n := float64(len(s.U.Catalog.Entries))
 		return comp / n, conc / n, examples
@@ -70,9 +66,13 @@ func (s *Suite) RunAblationMatchers() Result {
 	cmp := match.NewComparer(u.Ont, nil)
 
 	// Unaligned candidate traces: generated with a shifted pool selection,
-	// modelling provenance recorded on other inputs.
-	unalignedGen := core.NewGenerator(u.Ont, u.Pool)
-	unalignedGen.SelectionOffset = 1
+	// modelling provenance recorded on other inputs. Memoized per module —
+	// the trace baseline regenerates each candidate's traces once per
+	// unavailable target (and again in the missed-equivalents recheck)
+	// otherwise.
+	base := core.NewGenerator(u.Ont, u.Pool)
+	base.SelectionOffset = 1
+	unalignedGen := core.NewCachedGenerator(base)
 
 	type tally struct{ proposed, valid, missedEquiv int }
 	var sig, trace, dataex tally
@@ -98,10 +98,11 @@ func (s *Suite) RunAblationMatchers() Result {
 		}
 
 		// Data-example matcher: propose the best equivalent candidate.
-		cands, err := cmp.FindSubstitutes(match.Unavailable{Signature: lm.Module, Examples: examples}, available)
+		subs, err := cmp.FindSubstitutes(match.Unavailable{Signature: lm.Module, Examples: examples}, available)
 		if err != nil {
 			panic(err)
 		}
+		cands := subs.Ranked
 		if len(cands) > 0 && cands[0].Result.Verdict == match.Equivalent {
 			dataex.proposed++
 			dataex.valid++

@@ -166,7 +166,7 @@ func RunChaosExperiment(u *simulation.Universe, cfg ChaosConfig) (*ChaosOutcome,
 	// pre-resilience behaviour, where every fault costs the combination.
 	naiveInj := faults.NewInjector(cfg.Seed, faults.Plan{Default: cfg.Profile})
 	naiveGen := core.NewGenerator(u.Ont, u.Pool)
-	naiveGen.TransientRetries = -1
+	naiveGen.TransientRetries = core.Retries(0)
 	naiveCovered, naiveExamples, err := sweep(naiveGen, func(m *module.Module, restURL, soapURL string) {
 		transport.BindRemote(m, restURL, soapURL, nil)
 	}, naiveInj)

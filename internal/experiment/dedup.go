@@ -14,7 +14,6 @@ import (
 // ground-truth behaviour classes, and its conciseness estimate against
 // the true §4.2 value.
 func (s *Suite) RunDedup() Result {
-	gen := s.U.Gen
 	opts := dedup.DefaultOptions()
 
 	var (
@@ -23,11 +22,9 @@ func (s *Suite) RunDedup() Result {
 		perfect    int
 		modules    int
 	)
-	for _, e := range s.U.Catalog.Entries {
-		set, _, err := gen.Generate(e.Module)
-		if err != nil {
-			panic(fmt.Sprintf("experiment: dedup generate %s: %v", e.Module.ID, err))
-		}
+	for i, r := range s.sweepCatalog(s.U.Gen, "dedup") {
+		e := s.U.Catalog.Entries[i]
+		set := r.Examples
 		modules++
 
 		// Ground truth: example i is redundant iff an earlier example

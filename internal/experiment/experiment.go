@@ -59,6 +59,12 @@ func Format(r Result) string {
 type Suite struct {
 	U *simulation.Universe
 
+	// Workers bounds the catalog-sweep fan-out used by the generation-heavy
+	// experiments; <= 0 selects GOMAXPROCS. Every experiment's output is
+	// deterministic at any width (the sweep reassembles results in module
+	// order).
+	Workers int
+
 	legacyOnce sync.Once
 	legacy     *simulation.LegacyWorld
 

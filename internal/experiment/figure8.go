@@ -25,10 +25,11 @@ func (s *Suite) RunFigure8() Result {
 			none++
 			continue
 		}
-		cands, err := cmp.FindSubstitutes(match.Unavailable{Signature: lm.Module, Examples: examples}, available)
+		subs, err := cmp.FindSubstitutes(match.Unavailable{Signature: lm.Module, Examples: examples}, available)
 		if err != nil {
 			panic(fmt.Sprintf("experiment: matching %s: %v", lm.Module.ID, err))
 		}
+		cands := subs.Ranked
 		switch {
 		case len(cands) > 0 && cands[0].Result.Verdict == match.Equivalent:
 			equivalent++

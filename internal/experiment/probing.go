@@ -28,16 +28,13 @@ func (s *Suite) RunAblationProbing() Result {
 		gen.ValuesPerPartition = k
 		var comp, conc float64
 		var examples, invocations int
-		for _, e := range s.U.Catalog.Entries {
-			set, rep, err := gen.Generate(e.Module)
-			if err != nil {
-				panic(fmt.Sprintf("experiment: probing generate %s: %v", e.Module.ID, err))
-			}
-			ev := metrics.Evaluate(set, e.Behavior)
+		for i, r := range s.sweepCatalog(gen, "probing") {
+			e := s.U.Catalog.Entries[i]
+			ev := metrics.Evaluate(r.Examples, e.Behavior)
 			comp += ev.Completeness
 			conc += ev.Conciseness
-			examples += len(set)
-			invocations += rep.TotalCombinations - rep.Truncated
+			examples += len(r.Examples)
+			invocations += r.Report.TotalCombinations - r.Report.Truncated
 		}
 		n := float64(len(s.U.Catalog.Entries))
 		rows = append(rows, row{k, comp / n, conc / n, examples, invocations})

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"dexa/internal/core"
 	"dexa/internal/metrics"
 	"dexa/internal/module"
 	"dexa/internal/simulation"
@@ -23,22 +24,45 @@ var kindOrder = []module.Kind{
 	module.KindFiltering, module.KindAnalysis,
 }
 
+// sweepCatalog fans the generation heuristic over the catalog with the
+// suite's worker budget and returns the per-module results in catalog
+// order (the sweep itself orders by module ID; experiments iterate in
+// catalog order, so the results are mapped back). Generation failures are
+// programming errors for the calibrated catalog, hence the panic.
+func (s *Suite) sweepCatalog(gen *core.Generator, context string) []core.BatchResult {
+	entries := s.U.Catalog.Entries
+	mods := make([]*module.Module, len(entries))
+	for i, e := range entries {
+		mods[i] = e.Module
+	}
+	swept := (&core.SweepGenerator{Gen: gen, Workers: s.Workers}).Sweep(mods)
+	byID := make(map[string]core.BatchResult, len(swept))
+	for _, r := range swept {
+		if r.Err != nil {
+			panic(fmt.Sprintf("experiment: %s generate %s: %v", context, r.ModuleID, r.Err))
+		}
+		byID[r.ModuleID] = r
+	}
+	out := make([]core.BatchResult, len(entries))
+	for i, e := range entries {
+		out[i] = byID[e.Module.ID]
+	}
+	return out
+}
+
 // evaluateCatalog runs the generation heuristic over all 252 modules once
 // per suite.
 func (s *Suite) evaluateCatalog() []moduleResult {
 	if s.catalogEval != nil {
 		return s.catalogEval
 	}
-	for _, e := range s.U.Catalog.Entries {
-		set, rep, err := s.U.Gen.Generate(e.Module)
-		if err != nil {
-			panic(fmt.Sprintf("experiment: generating for %s: %v", e.Module.ID, err))
-		}
+	for i, r := range s.sweepCatalog(s.U.Gen, "catalog") {
+		e := s.U.Catalog.Entries[i]
 		s.catalogEval = append(s.catalogEval, moduleResult{
 			entry:         e,
-			eval:          metrics.Evaluate(set, e.Behavior),
-			inputCoverage: rep.InputCoverage(),
-			fullOutput:    rep.FullOutputCoverage(),
+			eval:          metrics.Evaluate(r.Examples, e.Behavior),
+			inputCoverage: r.Report.InputCoverage(),
+			fullOutput:    r.Report.FullOutputCoverage(),
 		})
 	}
 	return s.catalogEval

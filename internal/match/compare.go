@@ -76,18 +76,44 @@ func verdictFor(compared, agreeing int) Verdict {
 	}
 }
 
+// ExampleSource yields the data examples a comparison is based on. Both
+// *core.Generator and *core.CachedGenerator satisfy it; use the cached
+// variant when the same modules are compared repeatedly (a substitute
+// search over a catalog regenerates each candidate's set once per target
+// otherwise).
+type ExampleSource interface {
+	Generate(m *module.Module) (dataexample.Set, *core.Report, error)
+}
+
 // Comparer compares module behaviour using data examples generated over a
 // shared ontology and instance pool.
+//
+// Concurrency: a Comparer is safe for concurrent use as long as its
+// fields are not mutated after construction — the ontology, generator and
+// pool are all read-only during comparison. FindSubstitutes additionally
+// invokes candidate modules from worker goroutines (each module from one
+// worker only); module executors shared across candidates must tolerate
+// concurrent invocation, as the transport and simulation executors do.
 type Comparer struct {
 	Ont *ontology.Ontology
-	Gen *core.Generator
+	Gen ExampleSource
 	// Mode selects the parameter-mapping strictness (default ModeExact).
 	Mode Mode
+	// Workers bounds FindSubstitutes' candidate fan-out; <= 0 selects
+	// GOMAXPROCS. The ranking is deterministic at any width.
+	Workers int
 }
 
 // NewComparer builds a Comparer with exact mapping.
-func NewComparer(ont *ontology.Ontology, gen *core.Generator) *Comparer {
+func NewComparer(ont *ontology.Ontology, gen ExampleSource) *Comparer {
 	return &Comparer{Ont: ont, Gen: gen}
+}
+
+// NewCachedComparer builds a Comparer that memoizes generated example
+// sets per module, so comparing one catalog against itself (or many
+// targets against the same candidates) generates each set once.
+func NewCachedComparer(ont *ontology.Ontology, gen *core.Generator) *Comparer {
+	return &Comparer{Ont: ont, Gen: core.NewCachedGenerator(gen)}
 }
 
 // Compare generates data examples for both live modules and classifies

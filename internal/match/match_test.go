@@ -364,15 +364,19 @@ func TestFindSubstitutes(t *testing.T) {
 		seqModule("disjoint", prefixer("Z:")),
 		seqModule("aa-equiv", prefixer("X:")),
 	}
-	got, err := f.cmp.FindSubstitutes(un, candidates)
+	subs, err := f.cmp.FindSubstitutes(un, candidates)
 	if err != nil {
 		t.Fatal(err)
 	}
+	got := subs.Ranked
 	if len(got) != 3 {
 		t.Fatalf("substitutes = %d", len(got))
 	}
 	if got[0].Module.ID != "aa-equiv" || got[1].Module.ID != "zz-equiv" || got[2].Module.ID != "overlapping" {
 		t.Errorf("ranking = %s, %s, %s", got[0].Module.ID, got[1].Module.ID, got[2].Module.ID)
+	}
+	if len(subs.Skipped) != 0 {
+		t.Errorf("skipped = %v, want none", subs.Skipped)
 	}
 	best, err := f.cmp.BestSubstitute(un, candidates)
 	if err != nil || best == nil || best.Module.ID != "aa-equiv" {

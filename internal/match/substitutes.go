@@ -2,7 +2,9 @@ package match
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"dexa/internal/dataexample"
 	"dexa/internal/module"
@@ -22,32 +24,106 @@ type Candidate struct {
 	Result Result
 }
 
+// Skipped records a candidate that could not be compared — its executor
+// failed in a way that is neither an abnormal termination nor a transient
+// recovery (those are handled inside the comparison) — together with the
+// reason. Skipped candidates are excluded from the ranking but no longer
+// abort the whole search: one broken candidate must not hide every other
+// viable substitute.
+type Skipped struct {
+	ModuleID string
+	Reason   string
+}
+
+// Substitutes is the outcome of a substitute search.
+type Substitutes struct {
+	// Ranked lists the qualifying candidates best-first (see FindSubstitutes
+	// for the order).
+	Ranked []Candidate
+	// Skipped lists candidates whose comparison errored, in catalog order.
+	Skipped []Skipped
+}
+
 // FindSubstitutes ranks the available modules that can play the role of
 // the unavailable one: Equivalent candidates first, then Overlapping by
 // descending agreement score, ties broken by module ID for determinism.
-// Disjoint and Incomparable candidates are excluded.
-func (c *Comparer) FindSubstitutes(target Unavailable, available []*module.Module) ([]Candidate, error) {
+// Disjoint and Incomparable candidates are excluded; candidates whose
+// comparison errors are reported in Skipped rather than failing the
+// search.
+//
+// Candidates are compared concurrently (Comparer.Workers bounds the
+// fan-out; <= 0 selects GOMAXPROCS). Each candidate module is invoked by
+// exactly one worker, and the ranking and skip list are assembled in a
+// deterministic order independent of scheduling, so the result is
+// byte-identical to a sequential search.
+func (c *Comparer) FindSubstitutes(target Unavailable, available []*module.Module) (Substitutes, error) {
 	if target.Signature == nil {
-		return nil, fmt.Errorf("match: unavailable module has no signature")
+		return Substitutes{}, fmt.Errorf("match: unavailable module has no signature")
 	}
 	if len(target.Examples) == 0 {
-		return nil, fmt.Errorf("match: unavailable module %s has no data examples", target.Signature.ID)
+		return Substitutes{}, fmt.Errorf("match: unavailable module %s has no data examples", target.Signature.ID)
 	}
-	var out []Candidate
-	for _, cand := range available {
+	type slot struct {
+		res Result
+		err error
+	}
+	slots := make([]slot, len(available))
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(available) {
+		workers = len(available)
+	}
+	if workers <= 1 {
+		// Inline fast path: a one-worker pool would pay a channel handoff
+		// per candidate for no concurrency.
+		for i, cand := range available {
+			if cand.ID == target.Signature.ID {
+				continue // never propose the unavailable module as its own substitute
+			}
+			res, err := c.CompareAgainstExamples(target.Signature, target.Examples, cand)
+			slots[i] = slot{res: res, err: err}
+		}
+	} else {
+		var wg sync.WaitGroup
+		jobs := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					res, err := c.CompareAgainstExamples(target.Signature, target.Examples, available[i])
+					slots[i] = slot{res: res, err: err}
+				}
+			}()
+		}
+		for i, cand := range available {
+			if cand.ID == target.Signature.ID {
+				continue // never propose the unavailable module as its own substitute
+			}
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	var out Substitutes
+	for i, cand := range available {
 		if cand.ID == target.Signature.ID {
 			continue
 		}
-		res, err := c.CompareAgainstExamples(target.Signature, target.Examples, cand)
-		if err != nil {
-			return nil, err
+		s := slots[i]
+		if s.err != nil {
+			out.Skipped = append(out.Skipped, Skipped{ModuleID: cand.ID, Reason: s.err.Error()})
+			continue
 		}
-		if res.Verdict == Equivalent || res.Verdict == Overlapping {
-			out = append(out, Candidate{Module: cand, Result: res})
+		if s.res.Verdict == Equivalent || s.res.Verdict == Overlapping {
+			out.Ranked = append(out.Ranked, Candidate{Module: cand, Result: s.res})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	sort.Slice(out.Ranked, func(i, j int) bool {
+		a, b := out.Ranked[i], out.Ranked[j]
 		if a.Result.Verdict != b.Result.Verdict {
 			return a.Result.Verdict > b.Result.Verdict
 		}
@@ -62,9 +138,9 @@ func (c *Comparer) FindSubstitutes(target Unavailable, available []*module.Modul
 // BestSubstitute returns the top-ranked substitute, or nil when none
 // qualifies.
 func (c *Comparer) BestSubstitute(target Unavailable, available []*module.Module) (*Candidate, error) {
-	cands, err := c.FindSubstitutes(target, available)
-	if err != nil || len(cands) == 0 {
+	subs, err := c.FindSubstitutes(target, available)
+	if err != nil || len(subs.Ranked) == 0 {
 		return nil, err
 	}
-	return &cands[0], nil
+	return &subs.Ranked[0], nil
 }

@@ -1,0 +1,198 @@
+package ontology
+
+import "sort"
+
+// reachability is the precomputed transitive-closure index of the concept
+// DAG. It is built lazily, at most once per ontology generation: every
+// mutation (AddConcept, AddSubsumption, MarkAbstract, InvalidateCaches)
+// discards it, and the next reasoning call rebuilds it from scratch.
+//
+// Concepts are numbered densely in sorted-ID order and the closure is held
+// as one ancestor bitset and one descendant bitset per concept, so
+// Subsumes becomes a single bit test and the traversal-shaped queries
+// (Descendants, Ancestors, Partitions, LeafPartitions) become copies of
+// precomputed, already-sorted ID slices instead of per-call graph walks.
+type reachability struct {
+	ids   []string       // dense index -> concept ID, sorted
+	index map[string]int // concept ID -> dense index
+	words int            // bitset words per concept
+
+	anc  []uint64 // anc[i*words:(i+1)*words]: strict ancestors of i
+	desc []uint64 // desc[i*words:(i+1)*words]: strict descendants of i
+
+	descIDs    [][]string // strict descendants, sorted
+	ancIDs     [][]string // strict ancestors, sorted
+	partitions [][]string // {id} ∪ descendants, non-abstract only, sorted
+	leafParts  [][]string // leaves of {id} ∪ descendants, sorted
+}
+
+// reach returns the reachability index, building it under the cache mutex
+// on first use. Safe for concurrent callers: the double-checked build
+// publishes the finished index atomically.
+func (o *Ontology) reach() *reachability {
+	if r := o.cache.Load(); r != nil {
+		return r
+	}
+	o.cacheMu.Lock()
+	defer o.cacheMu.Unlock()
+	if r := o.cache.Load(); r != nil {
+		return r
+	}
+	r := o.buildReachability()
+	o.cache.Store(r)
+	return r
+}
+
+// invalidate drops the cached reachability index. Called by every mutator;
+// cheap when no cache has been built yet.
+func (o *Ontology) invalidate() {
+	o.cache.Store(nil)
+}
+
+// InvalidateCaches discards the lazily-built reachability cache so the
+// next reasoning call sees the current graph. The mutating methods
+// (AddConcept, AddSubsumption, MarkAbstract) invalidate automatically;
+// call this only after mutating ontology state directly — e.g. setting
+// Concept.Abstract on a concept obtained from Concept(). Like the
+// mutators themselves, it must not race with concurrent readers.
+func (o *Ontology) InvalidateCaches() { o.invalidate() }
+
+func (o *Ontology) buildReachability() *reachability {
+	n := len(o.concepts)
+	r := &reachability{
+		ids:        make([]string, 0, n),
+		index:      make(map[string]int, n),
+		words:      (n + 63) / 64,
+		descIDs:    make([][]string, n),
+		ancIDs:     make([][]string, n),
+		partitions: make([][]string, n),
+		leafParts:  make([][]string, n),
+	}
+	for id := range o.concepts {
+		r.ids = append(r.ids, id)
+	}
+	sort.Strings(r.ids)
+	for i, id := range r.ids {
+		r.index[id] = i
+	}
+	r.anc = make([]uint64, n*r.words)
+	r.desc = make([]uint64, n*r.words)
+
+	// Propagate closures in topological order: a concept's ancestor set is
+	// the union of its parents and their ancestor sets; descendants dually.
+	for _, i := range r.topoOrder(o) {
+		c := o.concepts[r.ids[i]]
+		row := r.anc[i*r.words : (i+1)*r.words]
+		for _, p := range c.parents {
+			pi := r.index[p.ID]
+			row[pi/64] |= 1 << (pi % 64)
+			prow := r.anc[pi*r.words : (pi+1)*r.words]
+			for w := range row {
+				row[w] |= prow[w]
+			}
+		}
+	}
+	// Descendant bitsets are the transpose of the ancestor bitsets.
+	for i := 0; i < n; i++ {
+		row := r.anc[i*r.words : (i+1)*r.words]
+		for j := 0; j < n; j++ {
+			if row[j/64]&(1<<(j%64)) != 0 {
+				r.desc[j*r.words+i/64] |= 1 << (i % 64)
+			}
+		}
+	}
+
+	// Materialise the sorted ID slices the traversal queries hand out.
+	for i, id := range r.ids {
+		descs, ancs := []string{}, []string{} // non-nil: the concept is known
+		var parts, leaves []string
+		c := o.concepts[id]
+		if !c.Abstract {
+			parts = append(parts, id)
+		}
+		if len(c.children) == 0 {
+			leaves = append(leaves, id)
+		}
+		for j, jd := range r.ids {
+			if r.desc[i*r.words+j/64]&(1<<(j%64)) != 0 {
+				descs = append(descs, jd)
+				dc := o.concepts[jd]
+				if !dc.Abstract {
+					parts = append(parts, jd)
+				}
+				if len(dc.children) == 0 {
+					leaves = append(leaves, jd)
+				}
+			}
+			if r.anc[i*r.words+j/64]&(1<<(j%64)) != 0 {
+				ancs = append(ancs, jd)
+			}
+		}
+		// The j-loop visits IDs in sorted order, so every slice is sorted
+		// except parts/leaves, where the self entry may precede smaller
+		// descendants.
+		sort.Strings(parts)
+		sort.Strings(leaves)
+		r.descIDs[i], r.ancIDs[i] = descs, ancs
+		r.partitions[i], r.leafParts[i] = parts, leaves
+	}
+	return r
+}
+
+// topoOrder returns the dense indices in parents-before-children order.
+// Construction guarantees acyclicity, so a Kahn pass always completes.
+func (r *reachability) topoOrder(o *Ontology) []int {
+	n := len(r.ids)
+	indeg := make([]int, n)
+	for i, id := range r.ids {
+		indeg[i] = len(o.concepts[id].parents)
+	}
+	order := make([]int, 0, n)
+	frontier := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			frontier = append(frontier, i)
+		}
+	}
+	for len(frontier) > 0 {
+		i := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		order = append(order, i)
+		for _, ch := range o.concepts[r.ids[i]].children {
+			ci := r.index[ch.ID]
+			indeg[ci]--
+			if indeg[ci] == 0 {
+				frontier = append(frontier, ci)
+			}
+		}
+	}
+	return order
+}
+
+// subsumes answers sup ⊒ sub over the closure bitsets.
+func (r *reachability) subsumes(supID, subID string) bool {
+	sub, ok := r.index[subID]
+	if !ok {
+		return false
+	}
+	sup, ok := r.index[supID]
+	if !ok {
+		return false
+	}
+	if sup == sub {
+		return true
+	}
+	return r.anc[sub*r.words+sup/64]&(1<<(sup%64)) != 0
+}
+
+// copyOf returns a defensive copy: the public traversal queries hand out
+// fresh slices, so callers may keep or modify the result without
+// corrupting the cache.
+func copyOf(ids []string) []string {
+	if ids == nil {
+		return nil
+	}
+	out := make([]string, len(ids))
+	copy(out, ids)
+	return out
+}

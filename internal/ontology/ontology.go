@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Concept is a node in the ontology: a named class of data values.
@@ -54,12 +56,24 @@ func idsOf(cs []*Concept) []string {
 }
 
 // Ontology is a mutable concept DAG. The zero value is not usable; call New.
-// Ontology is not safe for concurrent mutation; concurrent reads are safe
-// once construction is complete.
+//
+// Concurrency: an Ontology is not safe for concurrent mutation, and
+// mutation must not race with reads. Once construction is complete,
+// concurrent reads from any number of goroutines are safe — including the
+// first reasoning call, which lazily builds the reachability cache under
+// an internal mutex (see cache.go). Mutating after construction is
+// allowed from a single goroutine with no concurrent readers; the mutators
+// invalidate the cache automatically, and InvalidateCaches covers direct
+// field edits such as Concept.Abstract.
 type Ontology struct {
 	name     string
 	concepts map[string]*Concept
 	order    []string // insertion order, for deterministic serialisation
+
+	// Lazily-built transitive-closure index; nil until the first reasoning
+	// query after construction or invalidation.
+	cacheMu sync.Mutex
+	cache   atomic.Pointer[reachability]
 }
 
 // New creates an empty ontology with the given name.
@@ -98,6 +112,7 @@ func (o *Ontology) AddConcept(id, label string, parentIDs ...string) error {
 	}
 	o.concepts[id] = c
 	o.order = append(o.order, id)
+	o.invalidate()
 	return nil
 }
 
@@ -147,11 +162,14 @@ func (o *Ontology) AddSubsumption(subID, supID string) error {
 			return fmt.Errorf("ontology %s: duplicate edge %q < %q", o.name, subID, supID)
 		}
 	}
-	if o.Subsumes(subID, supID) {
+	// Cycle check via the uncached graph walk: construction would otherwise
+	// rebuild the closure once per added edge.
+	if o.walkSubsumes(subID, supID) {
 		return fmt.Errorf("ontology %s: edge %q < %q would create a cycle", o.name, subID, supID)
 	}
 	sub.parents = append(sub.parents, sup)
 	sup.children = append(sup.children, sub)
+	o.invalidate()
 	return nil
 }
 
@@ -162,6 +180,7 @@ func (o *Ontology) MarkAbstract(id string) error {
 		return fmt.Errorf("ontology %s: unknown concept %q", o.name, id)
 	}
 	c.Abstract = true
+	o.invalidate()
 	return nil
 }
 

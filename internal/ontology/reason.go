@@ -7,8 +7,15 @@ import (
 
 // Subsumes reports whether sup ⊒ sub, i.e. sub is sup itself or a
 // (transitive) subconcept of sup. Unknown concepts never subsume or get
-// subsumed.
+// subsumed. The answer is a bit test against the lazily-built reachability
+// cache, not a graph walk.
 func (o *Ontology) Subsumes(supID, subID string) bool {
+	return o.reach().subsumes(supID, subID)
+}
+
+// walkSubsumes is the cache-free subsumption check, used by mutators
+// (whose cycle checks must not trigger a closure rebuild per edge).
+func (o *Ontology) walkSubsumes(supID, subID string) bool {
 	sub, ok := o.concepts[subID]
 	if !ok || !o.Has(supID) {
 		return false
@@ -41,55 +48,27 @@ func (o *Ontology) StrictlySubsumes(supID, subID string) bool {
 }
 
 // Descendants returns the IDs of all strict subconcepts of id in sorted
-// order. It returns nil for an unknown concept.
+// order. It returns nil for an unknown concept. The result is a fresh copy
+// of the cached closure; callers may keep or modify it.
 func (o *Ontology) Descendants(id string) []string {
-	c, ok := o.concepts[id]
+	r := o.reach()
+	i, ok := r.index[id]
 	if !ok {
 		return nil
 	}
-	seen := map[*Concept]bool{}
-	var walk func(*Concept)
-	walk = func(c *Concept) {
-		for _, ch := range c.children {
-			if !seen[ch] {
-				seen[ch] = true
-				walk(ch)
-			}
-		}
-	}
-	walk(c)
-	ids := make([]string, 0, len(seen))
-	for d := range seen {
-		ids = append(ids, d.ID)
-	}
-	sort.Strings(ids)
-	return ids
+	return copyOf(r.descIDs[i])
 }
 
 // Ancestors returns the IDs of all strict superconcepts of id in sorted
-// order. It returns nil for an unknown concept.
+// order. It returns nil for an unknown concept. The result is a fresh copy
+// of the cached closure; callers may keep or modify it.
 func (o *Ontology) Ancestors(id string) []string {
-	c, ok := o.concepts[id]
+	r := o.reach()
+	i, ok := r.index[id]
 	if !ok {
 		return nil
 	}
-	seen := map[*Concept]bool{}
-	var walk func(*Concept)
-	walk = func(c *Concept) {
-		for _, p := range c.parents {
-			if !seen[p] {
-				seen[p] = true
-				walk(p)
-			}
-		}
-	}
-	walk(c)
-	ids := make([]string, 0, len(seen))
-	for a := range seen {
-		ids = append(ids, a.ID)
-	}
-	sort.Strings(ids)
-	return ids
+	return copyOf(r.ancIDs[i])
 }
 
 // Depth returns the length of the shortest parent chain from id to any
@@ -172,22 +151,12 @@ func (o *Ontology) LeastCommonAncestors(aID, bID string) []string {
 // are represented by the partitions of their subconcepts. It returns an
 // error for an unknown concept.
 func (o *Ontology) Partitions(id string) ([]string, error) {
-	c, ok := o.concepts[id]
+	r := o.reach()
+	i, ok := r.index[id]
 	if !ok {
 		return nil, fmt.Errorf("ontology %s: unknown concept %q", o.name, id)
 	}
-	var parts []string
-	if !c.Abstract {
-		parts = append(parts, id)
-	}
-	for _, d := range o.Descendants(id) {
-		dc := o.concepts[d]
-		if !dc.Abstract {
-			parts = append(parts, d)
-		}
-	}
-	sort.Strings(parts)
-	return parts, nil
+	return copyOf(r.partitions[i]), nil
 }
 
 // LeafPartitions returns only the leaf concepts under id (including id
@@ -195,20 +164,12 @@ func (o *Ontology) Partitions(id string) ([]string, error) {
 // strategy evaluated by the ablation bench: it ignores realizations of
 // inner concepts.
 func (o *Ontology) LeafPartitions(id string) ([]string, error) {
-	if !o.Has(id) {
+	r := o.reach()
+	i, ok := r.index[id]
+	if !ok {
 		return nil, fmt.Errorf("ontology %s: unknown concept %q", o.name, id)
 	}
-	var parts []string
-	if o.IsLeaf(id) {
-		parts = append(parts, id)
-	}
-	for _, d := range o.Descendants(id) {
-		if o.IsLeaf(d) {
-			parts = append(parts, d)
-		}
-	}
-	sort.Strings(parts)
-	return parts, nil
+	return copyOf(r.leafParts[i]), nil
 }
 
 // MostSpecific returns, from the given concept IDs, those that are not

@@ -18,11 +18,35 @@ type AlignScores struct {
 // DefaultScores is the scoring used by the catalog's alignment services.
 var DefaultScores = AlignScores{Match: 2, Mismatch: -1, Gap: -2}
 
+// aligner carries reusable DP row buffers, so a scan aligning one query
+// against many subjects allocates the rows once instead of twice per
+// alignment. The zero value is ready to use; an aligner must not be
+// shared between goroutines (each homology-search shard owns one).
+type aligner struct {
+	prev, cur []int
+}
+
+// rows returns the two DP rows, zero-filled, grown to m+1 entries.
+func (al *aligner) rows(m int) ([]int, []int) {
+	if cap(al.prev) < m+1 {
+		al.prev = make([]int, m+1)
+		al.cur = make([]int, m+1)
+	}
+	al.prev, al.cur = al.prev[:m+1], al.cur[:m+1]
+	clear(al.prev)
+	clear(al.cur)
+	return al.prev, al.cur
+}
+
 // NeedlemanWunsch returns the global alignment score of a and b.
 func NeedlemanWunsch(a, b string, s AlignScores) int {
+	var al aligner
+	return al.needlemanWunsch(a, b, s)
+}
+
+func (al *aligner) needlemanWunsch(a, b string, s AlignScores) int {
 	n, m := len(a), len(b)
-	prev := make([]int, m+1)
-	cur := make([]int, m+1)
+	prev, cur := al.rows(m)
 	for j := 0; j <= m; j++ {
 		prev[j] = j * s.Gap
 	}
@@ -49,9 +73,13 @@ func NeedlemanWunsch(a, b string, s AlignScores) int {
 
 // SmithWaterman returns the local alignment score of a and b (always >= 0).
 func SmithWaterman(a, b string, s AlignScores) int {
+	var al aligner
+	return al.smithWaterman(a, b, s)
+}
+
+func (al *aligner) smithWaterman(a, b string, s AlignScores) int {
 	n, m := len(a), len(b)
-	prev := make([]int, m+1)
-	cur := make([]int, m+1)
+	prev, cur := al.rows(m)
 	best := 0
 	for i := 1; i <= n; i++ {
 		for j := 1; j <= m; j++ {
@@ -115,14 +143,29 @@ func Algorithms() []string {
 	return []string{AlgoNeedlemanWunsch, AlgoSmithWaterman, AlgoKmer}
 }
 
+// ValidAlgorithm reports whether Score accepts the algorithm name.
+func ValidAlgorithm(algo string) bool {
+	switch algo {
+	case AlgoNeedlemanWunsch, AlgoSmithWaterman, AlgoKmer:
+		return true
+	default:
+		return false
+	}
+}
+
 // Score aligns a and b with the named algorithm using DefaultScores
 // (k=3 for kmer). Unknown algorithms score 0 and report false.
 func Score(algo, a, b string) (int, bool) {
+	var al aligner
+	return al.score(algo, a, b)
+}
+
+func (al *aligner) score(algo, a, b string) (int, bool) {
 	switch algo {
 	case AlgoNeedlemanWunsch:
-		return NeedlemanWunsch(a, b, DefaultScores), true
+		return al.needlemanWunsch(a, b, DefaultScores), true
 	case AlgoSmithWaterman:
-		return SmithWaterman(a, b, DefaultScores), true
+		return al.smithWaterman(a, b, DefaultScores), true
 	case AlgoKmer:
 		return KmerSimilarity(a, b, 3), true
 	default:

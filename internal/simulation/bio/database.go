@@ -2,7 +2,6 @@ package bio
 
 import (
 	"math"
-	"sort"
 )
 
 // Database is the deterministic synthetic stand-in for the collection of
@@ -232,41 +231,6 @@ func (db *Database) Homologs(e Entry) []string {
 		}
 	}
 	return out
-}
-
-// Hit is one homology-search result.
-type Hit struct {
-	Accession string
-	Score     int
-}
-
-// HomologySearch ranks all database proteins against the query sequence
-// with the named alignment algorithm and returns the top k hits (ties
-// broken by accession). The algorithm genuinely changes the ranking, so
-// services wrapping different algorithms return different results for the
-// same query — the Example-4 situation.
-func (db *Database) HomologySearch(query, algo string, k int) []Hit {
-	if k <= 0 {
-		return nil
-	}
-	hits := make([]Hit, 0, len(db.entries))
-	for _, e := range db.entries {
-		s, ok := Score(algo, query, e.Protein)
-		if !ok {
-			return nil
-		}
-		hits = append(hits, Hit{Accession: e.Accession, Score: s})
-	}
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
-		}
-		return hits[i].Accession < hits[j].Accession
-	})
-	if len(hits) > k {
-		hits = hits[:k]
-	}
-	return hits
 }
 
 // IdentifyByPeptideMasses returns the entry whose tryptic peptide-mass

@@ -106,10 +106,11 @@ func TestLegacyMatchingVerdicts(t *testing.T) {
 		if !ok || len(examples) == 0 {
 			t.Fatalf("no examples reconstructed for %s", lm.Module.ID)
 		}
-		cands, err := cmp.FindSubstitutes(match.Unavailable{Signature: lm.Module, Examples: examples}, available)
+		subs, err := cmp.FindSubstitutes(match.Unavailable{Signature: lm.Module, Examples: examples}, available)
 		if err != nil {
 			t.Fatalf("FindSubstitutes(%s): %v", lm.Module.ID, err)
 		}
+		cands := subs.Ranked
 		var got ExpectedMatch
 		switch {
 		case len(cands) > 0 && cands[0].Result.Verdict == match.Equivalent:

@@ -207,11 +207,11 @@ func (r *Repairer) repairStepUncached(w *Workflow, stepID, moduleID string, entr
 	target := match.Unavailable{Signature: entry.Module, Examples: examples}
 
 	// Pass 1: exact mapping, Equivalent only.
-	cands, err := r.Exact.FindSubstitutes(target, available)
+	subs, err := r.Exact.FindSubstitutes(target, available)
 	if err != nil {
 		return nil, "", err
 	}
-	for _, c := range cands {
+	for _, c := range subs.Ranked {
 		if c.Result.Verdict == match.Equivalent {
 			return &Replacement{StepID: stepID, OldModuleID: moduleID, NewModuleID: c.Module.ID, Verdict: match.Equivalent}, "", nil
 		}
@@ -241,7 +241,7 @@ func (r *Repairer) repairStepUncached(w *Workflow, stepID, moduleID string, entr
 			}
 		}
 	}
-	if len(cands) > 0 {
+	if len(subs.Ranked) > 0 {
 		return nil, "only overlapping candidates, none certified in context", nil
 	}
 	return nil, "no behaviourally compatible candidate", nil
