@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke experiments
+.PHONY: ci vet build test race race-store bench bench-smoke experiments
 
-ci: vet build race bench-smoke
+ci: vet build race race-store bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -15,6 +15,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The store's concurrency contract (many readers, one writer, compaction
+# in between) and the serving layer's singleflight path, checked with
+# more iterations than the catch-all race run gives them.
+race-store:
+	$(GO) test -race -count=2 ./internal/store/ ./internal/serve/
 
 # One iteration of every benchmark: catches benchmarks that no longer
 # compile or crash without paying for a full measurement run.

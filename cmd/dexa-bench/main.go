@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
@@ -35,6 +36,7 @@ import (
 	"dexa/internal/module"
 	"dexa/internal/simulation"
 	"dexa/internal/simulation/bio"
+	"dexa/internal/store"
 )
 
 // Measurement is one benchmark result.
@@ -209,6 +211,55 @@ func main() {
 		}
 	})
 
+	// Persistent example store: WAL-append write path (durability per
+	// annotation) vs the sharded-index read path (the serving hot loop).
+	// Compaction is disabled so the loop measures the steady append cost,
+	// not periodic snapshot spikes.
+	storeDir, err := os.MkdirTemp("", "dexa-bench-store")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(storeDir)
+	benchSet, _, err := u.Gen.Generate(entry.Module)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	run("store-write/put", func(b *testing.B) {
+		st, err := store.Open(filepath.Join(storeDir, "w"), store.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// Rotating IDs make every put a real append, never a hash no-op.
+			if _, _, err := st.Put(fmt.Sprintf("mod-%d", i%64), benchSet); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	run("store-read/get", func(b *testing.B) {
+		st, err := store.Open(filepath.Join(storeDir, "r"), store.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		for i := 0; i < 64; i++ {
+			if _, _, err := st.Put(fmt.Sprintf("mod-%d", i), benchSet); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, ok := st.Get(fmt.Sprintf("mod-%d", i%64)); !ok {
+				b.Fatal("miss")
+			}
+		}
+	})
+
 	// Single-module generation, the allocation-sensitive inner loop.
 	if e, ok := u.Catalog.Get("getRecordSummary"); ok {
 		run("generate-module/getRecordSummary", func(b *testing.B) {
@@ -243,6 +294,7 @@ func main() {
 			speedup("substitute search fan-out", "find-substitutes/sequential", "find-substitutes/parallel"),
 			speedup("ontology reachability cache", "ontology-partitions/cold", "ontology-partitions/warm"),
 			speedup("homology search sharding", "homology-search/sequential", "homology-search/sharded"),
+			speedup("store read vs write", "store-write/put", "store-read/get"),
 		},
 	}
 

@@ -6,6 +6,13 @@
 //	dexa-generate -module getUniprotRecord        # print examples for one module
 //	dexa-generate -all -o registry.json           # annotate all 252, save registry
 //	dexa-generate -module sequenceToFasta -report # include the generation report
+//	dexa-generate -all -store ./dexa-store        # warm the persistent example store
+//
+// With -store the generator is wired through the persistent example
+// store: modules whose annotation is already stored are served from it
+// (no regeneration), fresh results are appended to the store's WAL, and
+// the store is flushed and compacted before exit. A warmed store is what
+// dexa-serve's annotation API serves from.
 //
 // Chaos mode injects seeded transient faults into every invocation, and
 // -resilient interposes the production executor stack (retry with
@@ -26,6 +33,7 @@ import (
 	"dexa/internal/module"
 	"dexa/internal/resilient"
 	"dexa/internal/simulation"
+	"dexa/internal/store"
 )
 
 func main() {
@@ -39,6 +47,7 @@ func main() {
 	maxAttempts := flag.Int("max-attempts", 0, "resilient stack: attempts per invocation (default policy when 0)")
 	failureThreshold := flag.Int("failure-threshold", 5, "auto-retire a module after this many consecutive transient failures (0 disables)")
 	workers := flag.Int("workers", 0, "concurrent generations for -all (0 = GOMAXPROCS); results are deterministic, but with -chaos the fault placement follows goroutine scheduling at widths > 1")
+	storeDir := flag.String("store", "", "persist annotations to (and reuse them from) this example-store directory")
 	flag.Parse()
 
 	if *moduleID == "" && !*all {
@@ -75,12 +84,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "resilient executor stack enabled")
 	}
 
+	var st *store.Store
+	var source *store.Source
+	var gen core.ExampleGenerator = u.Gen
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, store.Options{CompactEvery: 256})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		stats := st.Stats()
+		fmt.Fprintf(os.Stderr, "store %s: %d modules already annotated\n", *storeDir, stats.Modules)
+		source = store.NewSource(st, u.Gen)
+		gen = source
+	}
+
 	if *all {
 		mods := make([]*module.Module, len(u.Catalog.Entries))
 		for i, e := range u.Catalog.Entries {
 			mods[i] = e.Module
 		}
-		sweep := &core.SweepGenerator{Gen: u.Gen, Workers: *workers}
+		sweep := &core.SweepGenerator{Gen: gen, Workers: *workers}
 		for _, r := range sweep.Sweep(mods) {
 			if r.Err != nil {
 				fmt.Fprintf(os.Stderr, "generating for %s: %v\n", r.ModuleID, r.Err)
@@ -99,7 +124,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown module %q\n", id)
 			os.Exit(1)
 		}
-		set, rep, err := u.Gen.Generate(entry.Module)
+		set, rep, err := gen.Generate(entry.Module)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "generating for %s: %v\n", id, err)
 			os.Exit(1)
@@ -112,7 +137,10 @@ func main() {
 		for i, e := range set {
 			fmt.Printf("  δ%d %s\n", i+1, e)
 		}
-		if *report {
+		if rep == nil && *report {
+			fmt.Println("served from the example store; no generation report (use the serve API's refresh to regenerate)")
+		}
+		if *report && rep != nil {
 			fmt.Printf("input coverage: %.2f   output coverage: %.2f   combined: %.2f\n",
 				rep.InputCoverage(), rep.OutputCoverage(), rep.Coverage())
 			fmt.Printf("combinations: %d total, %d failed, %d truncated\n",
@@ -141,5 +169,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "registry written to %s\n", *out)
+	}
+	if st != nil {
+		if err := st.Snapshot(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := st.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		stats := st.Stats()
+		fmt.Fprintf(os.Stderr, "store %s: %d modules, %d examples (%d generated this run, rest served from the store)\n",
+			*storeDir, stats.Modules, stats.Examples, source.Runs())
 	}
 }

@@ -1,15 +1,25 @@
-// Command dexa-serve hosts the full 252-module catalog as a provider:
-// REST under /rest and SOAP at /soap. Point dexa clients (or curl) at it
-// to exercise the remote annotation path.
+// Command dexa-serve hosts the full 252-module catalog as a provider
+// (REST under /rest, SOAP at /soap) and as an annotation service backed
+// by the persistent example store (the /api endpoints): browse the
+// catalog, fetch stored example sets with ETag revalidation, trigger
+// on-demand generation (deduplicated across concurrent requests), and
+// search substitutes for decayed modules from their stored annotations.
 //
 // Usage:
 //
-//	dexa-serve -addr 127.0.0.1:8080
+//	dexa-serve -addr 127.0.0.1:8080 -store ./dexa-store
 //
+//	curl http://127.0.0.1:8080/api/catalog
+//	curl http://127.0.0.1:8080/api/modules/getUniprotRecord/examples
+//	curl -X POST http://127.0.0.1:8080/api/modules/transcribe/generate
+//	curl http://127.0.0.1:8080/api/modules/getUniprotRecord/substitutes
+//	curl http://127.0.0.1:8080/api/stats
 //	curl http://127.0.0.1:8080/rest/modules
-//	curl http://127.0.0.1:8080/rest/modules/getUniprotRecord
-//	curl -X POST http://127.0.0.1:8080/rest/modules/transcribe/invoke \
-//	     -d '{"inputs":{"sequence":{"kind":"string","str":"ACGT"}}}'
+//
+// Without -store the service runs on a memory-only store: everything
+// works, nothing survives the process. SIGINT/SIGTERM shut the server
+// down gracefully — the listener closes, in-flight requests drain for up
+// to -grace, and the store's write-ahead log is flushed before exit.
 //
 // Chaos mode turns the provider into a decaying 2014-era service: a
 // seeded share of requests suffers connection resets, 429/503 answers,
@@ -21,20 +31,30 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"dexa/internal/faults"
+	"dexa/internal/match"
+	"dexa/internal/serve"
 	"dexa/internal/simulation"
+	"dexa/internal/store"
 	"dexa/internal/transport"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	storeDir := flag.String("store", "", "example store directory (empty = memory-only store)")
+	compactEvery := flag.Int("store-compact-every", 256, "auto-compact the store after this many WAL appends (0 disables)")
+	syncOnPut := flag.Bool("store-sync", false, "fsync the store WAL on every write (durable but slower)")
+	grace := flag.Duration("grace", serve.DefaultGrace, "how long to drain in-flight requests on shutdown")
 	chaos := flag.Float64("chaos", 0, "transient fault rate in [0,1], spread uniformly over reset/429/503/truncate/garbage")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the deterministic fault stream")
 	latencyRate := flag.Float64("chaos-latency-rate", 0, "probability of a latency spike before a normal answer")
@@ -45,6 +65,34 @@ func main() {
 
 	fmt.Fprintln(os.Stderr, "building experimental universe...")
 	u := simulation.NewUniverse()
+
+	st, err := store.Open(*storeDir, store.Options{CompactEvery: *compactEvery, SyncOnPut: *syncOnPut})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *storeDir != "" {
+		stats := st.Stats()
+		fmt.Fprintf(os.Stderr, "store %s: %d modules, %d examples (replayed %d WAL records",
+			*storeDir, stats.Modules, stats.Examples, stats.Recovered)
+		if stats.TailTruncated {
+			fmt.Fprint(os.Stderr, ", torn tail truncated")
+		}
+		fmt.Fprintln(os.Stderr, ")")
+	} else {
+		fmt.Fprintln(os.Stderr, "store: memory-only (pass -store DIR to persist annotations)")
+	}
+	if n := u.Registry.LoadExamplesFrom(st); n > 0 {
+		fmt.Fprintf(os.Stderr, "hydrated %d registry entries from the store\n", n)
+	}
+
+	source := store.NewSource(st, u.Gen)
+	api := &serve.Server{
+		Registry: u.Registry,
+		Store:    st,
+		Source:   source,
+		Comparer: match.NewComparer(u.Ont, source),
+	}
 
 	restHandler := http.Handler(transport.RESTHandler(u.Registry))
 	soapHandler := http.Handler(transport.SOAPHandler(u.Registry))
@@ -69,8 +117,10 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/rest/", http.StripPrefix("/rest", restHandler))
 	mux.Handle("/soap", soapHandler)
+	mux.Handle("/api/", http.StripPrefix("/api", api.Handler()))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintf(w, "ok: %d modules available\n", len(u.Registry.Available()))
+		fmt.Fprintf(w, "ok: %d modules available, %d annotated in store\n",
+			len(u.Registry.Available()), st.Len())
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -78,10 +128,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("serving %d modules at http://%s (REST under /rest, SOAP at /soap)\n",
+	fmt.Printf("serving %d modules at http://%s (REST under /rest, SOAP at /soap, annotation API under /api)\n",
 		len(u.Registry.Available()), ln.Addr())
-	if err := (&http.Server{Handler: mux}).Serve(ln); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := serve.Serve(ctx, &http.Server{Handler: mux}, ln, *grace, st); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	fmt.Fprintln(os.Stderr, "shut down cleanly; store flushed")
 }

@@ -32,6 +32,11 @@ type CachedGenerator struct {
 	entries map[string]*cacheEntry
 }
 
+var (
+	_ ExampleGenerator = (*Generator)(nil)
+	_ ExampleGenerator = (*CachedGenerator)(nil)
+)
+
 type cacheEntry struct {
 	once sync.Once
 	set  dataexample.Set

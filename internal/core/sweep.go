@@ -5,8 +5,19 @@ import (
 	"sort"
 	"sync"
 
+	"dexa/internal/dataexample"
 	"dexa/internal/module"
 )
+
+// ExampleGenerator produces the data-example annotation of one module.
+// *Generator, *CachedGenerator and the persistent store.Source all satisfy
+// it, so batch consumers (sweeps, comparers, the serving layer) can be
+// wired to a fresh heuristic run, an in-process memo, or a durable store
+// interchangeably. Implementations may return a nil Report when the set
+// was served from a cache or store rather than generated.
+type ExampleGenerator interface {
+	Generate(m *module.Module) (dataexample.Set, *Report, error)
+}
 
 // SweepGenerator fans the generation heuristic out over a module catalog
 // using a fixed worker pool. It exists because every consumer of batch
@@ -29,8 +40,11 @@ import (
 // executors shared between modules must tolerate that, as the transport
 // and simulation executors in this repository do.
 type SweepGenerator struct {
-	// Gen runs the per-module heuristic. Required.
-	Gen *Generator
+	// Gen runs the per-module heuristic. Required. Any ExampleGenerator
+	// works: the plain heuristic, a memoizing CachedGenerator, or a
+	// store-backed source that skips modules whose annotation is already
+	// persisted.
+	Gen ExampleGenerator
 	// Workers is the fan-out width; <= 0 selects runtime.GOMAXPROCS(0).
 	Workers int
 }

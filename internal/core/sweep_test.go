@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"dexa/internal/dataexample"
 	"dexa/internal/module"
 	"dexa/internal/typesys"
 )
@@ -169,5 +170,43 @@ func BenchmarkSweep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Sweep(mods)
+	}
+}
+
+// countingGen is a minimal non-*Generator ExampleGenerator: the sweep
+// must accept any implementation of the interface (store-backed sources,
+// caches), not just the concrete heuristic generator.
+type countingGen struct {
+	mu   sync.Mutex
+	runs map[string]int
+}
+
+func (c *countingGen) Generate(m *module.Module) (dataexample.Set, *Report, error) {
+	c.mu.Lock()
+	c.runs[m.ID]++
+	c.mu.Unlock()
+	return dataexample.Set{{
+		Inputs:  map[string]typesys.Value{"in": typesys.Str(m.ID)},
+		Outputs: map[string]typesys.Value{"out": typesys.Str("v")},
+	}}, &Report{ModuleID: m.ID}, nil
+}
+
+func TestSweepAcceptsAnyExampleGenerator(t *testing.T) {
+	mods := make([]*module.Module, 9)
+	for i := range mods {
+		mods[i] = &module.Module{ID: fmt.Sprintf("m%d", i)}
+	}
+	cg := &countingGen{runs: map[string]int{}}
+	results := (&SweepGenerator{Gen: cg, Workers: 4}).Sweep(mods)
+	if len(results) != len(mods) {
+		t.Fatalf("got %d results, want %d", len(results), len(mods))
+	}
+	for i, r := range results {
+		if r.ModuleID != mods[i].ID || r.Err != nil || len(r.Examples) != 1 {
+			t.Errorf("result %d = %+v", i, r)
+		}
+		if cg.runs[r.ModuleID] != 1 {
+			t.Errorf("%s generated %d times, want 1", r.ModuleID, cg.runs[r.ModuleID])
+		}
 	}
 }

@@ -12,6 +12,7 @@
 package dataexample
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -190,29 +191,83 @@ type wireExample struct {
 	OutputPartitions map[string]string          `json:"outputPartitions,omitempty"`
 }
 
-// MarshalJSON encodes the example with tagged values.
+// MarshalJSON encodes the example with tagged values. The encoding is
+// deterministic by construction — object keys are written in sorted
+// order explicitly rather than relying on encoding/json's map behaviour —
+// because the example store derives content-addressed hashes and golden
+// wire formats from these bytes: the same example set must encode to the
+// same bytes on every run, forever.
 func (e Example) MarshalJSON() ([]byte, error) {
-	w := wireExample{
-		Inputs:           map[string]json.RawMessage{},
-		Outputs:          map[string]json.RawMessage{},
-		InputPartitions:  e.InputPartitions,
-		OutputPartitions: e.OutputPartitions,
+	var b bytes.Buffer
+	b.WriteString(`{"inputs":`)
+	if err := writeValueObject(&b, e.Inputs, "input"); err != nil {
+		return nil, err
 	}
-	for n, v := range e.Inputs {
-		data, err := typesys.MarshalValue(v)
-		if err != nil {
-			return nil, fmt.Errorf("dataexample: input %q: %w", n, err)
+	b.WriteString(`,"outputs":`)
+	if err := writeValueObject(&b, e.Outputs, "output"); err != nil {
+		return nil, err
+	}
+	if len(e.InputPartitions) > 0 {
+		b.WriteString(`,"inputPartitions":`)
+		writeStringObject(&b, e.InputPartitions)
+	}
+	if len(e.OutputPartitions) > 0 {
+		b.WriteString(`,"outputPartitions":`)
+		writeStringObject(&b, e.OutputPartitions)
+	}
+	b.WriteByte('}')
+	return b.Bytes(), nil
+}
+
+// writeValueObject writes the assignment as a JSON object with keys in
+// sorted order and tagged values.
+func writeValueObject(b *bytes.Buffer, vals map[string]typesys.Value, role string) error {
+	names := make([]string, 0, len(vals))
+	for n := range vals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
 		}
-		w.Inputs[n] = data
-	}
-	for n, v := range e.Outputs {
-		data, err := typesys.MarshalValue(v)
+		key, err := json.Marshal(n)
 		if err != nil {
-			return nil, fmt.Errorf("dataexample: output %q: %w", n, err)
+			return fmt.Errorf("dataexample: %s %q: %w", role, n, err)
 		}
-		w.Outputs[n] = data
+		b.Write(key)
+		b.WriteByte(':')
+		data, err := typesys.MarshalValue(vals[n])
+		if err != nil {
+			return fmt.Errorf("dataexample: %s %q: %w", role, n, err)
+		}
+		b.Write(data)
 	}
-	return json.Marshal(w)
+	b.WriteByte('}')
+	return nil
+}
+
+// writeStringObject writes the string map as a JSON object with keys in
+// sorted order.
+func writeStringObject(b *bytes.Buffer, m map[string]string) {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		key, _ := json.Marshal(n)
+		b.Write(key)
+		b.WriteByte(':')
+		val, _ := json.Marshal(m[n])
+		b.Write(val)
+	}
+	b.WriteByte('}')
 }
 
 // UnmarshalJSON decodes the example.

@@ -190,3 +190,63 @@ func TestUnmarshalErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestMarshalDeterministicBytes pins the exact wire bytes of an example:
+// object keys come out sorted, fields in declaration order, partitions
+// omitted when empty. The persistent store content-addresses sets by
+// hashing this encoding, so any drift here silently invalidates every
+// stored hash.
+func TestMarshalDeterministicBytes(t *testing.T) {
+	e := Example{
+		Inputs: map[string]typesys.Value{
+			"b": typesys.Intv(2),
+			"a": typesys.Str("x"),
+		},
+		Outputs:         map[string]typesys.Value{"o": typesys.Floatv(1.5)},
+		InputPartitions: map[string]string{"b": "Count", "a": "Seq"},
+	}
+	const want = `{"inputs":{"a":{"kind":"string","str":"x"},"b":{"kind":"int","int":2}},` +
+		`"outputs":{"o":{"kind":"float","float":1.5}},` +
+		`"inputPartitions":{"a":"Seq","b":"Count"}}`
+	got, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want {
+		t.Errorf("encoding drifted:\n got %s\nwant %s", got, want)
+	}
+	// No partitions: the partition objects disappear entirely.
+	bare, err := json.Marshal(ex(
+		map[string]typesys.Value{"x": typesys.Str("v")},
+		map[string]typesys.Value{"y": typesys.Str("w")}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(bare), "Partitions") {
+		t.Errorf("empty partitions serialized: %s", bare)
+	}
+}
+
+// TestMarshalRepeatable re-encodes random examples many times each:
+// byte-for-byte identical output every time, despite Go's randomized
+// map iteration underneath.
+func TestMarshalRepeatable(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		e := randExample(r)
+		first, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 10; j++ {
+			again, err := json.Marshal(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(again) != string(first) {
+				t.Fatalf("example %d: encoding wobbled on re-marshal %d:\n%s\nvs\n%s",
+					i, j, first, again)
+			}
+		}
+	}
+}

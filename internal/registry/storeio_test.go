@@ -1,0 +1,63 @@
+package registry
+
+import (
+	"sort"
+	"testing"
+
+	"dexa/internal/dataexample"
+	"dexa/internal/store"
+)
+
+func TestSaveLoadExamplesStore(t *testing.T) {
+	st, err := store.Open("", store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New()
+	r.MustRegister(persistModule("a"))
+	r.MustRegister(persistModule("b"))
+	r.MustRegister(persistModule("bare")) // never annotated
+	if err := r.SetExamples("a", persistExamples("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetExamples("b", persistExamples("b")); err != nil {
+		t.Fatal(err)
+	}
+
+	changed, err := r.SaveExamplesTo(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed != 2 {
+		t.Errorf("first save changed %d sets, want 2", changed)
+	}
+	ids := st.IDs()
+	sort.Strings(ids)
+	if len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Errorf("store holds %v, want [a b] (bare entries must be skipped)", ids)
+	}
+	// A second save with identical annotations is all content no-ops.
+	if changed, err = r.SaveExamplesTo(st); err != nil || changed != 0 {
+		t.Errorf("idempotent save changed %d sets (err %v), want 0", changed, err)
+	}
+
+	// A fresh registry hydrates from the store; store-only modules the
+	// catalog doesn't know are ignored.
+	if _, _, err := st.Put("foreign", persistExamples("f")); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New()
+	fresh.MustRegister(persistModule("a"))
+	fresh.MustRegister(persistModule("b"))
+	if loaded := fresh.LoadExamplesFrom(st); loaded != 2 {
+		t.Errorf("loaded %d entries, want 2", loaded)
+	}
+	set, ok := fresh.Examples("a")
+	if !ok || len(set) != 1 {
+		t.Fatalf("a not hydrated: %d examples, %v", len(set), ok)
+	}
+	var zero dataexample.Set
+	if got, _ := fresh.Examples("bare"); len(got) != len(zero) {
+		t.Errorf("bare grew examples from nowhere: %d", len(got))
+	}
+}

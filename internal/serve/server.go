@@ -1,0 +1,378 @@
+// Package serve is the annotation serving layer: it exposes the
+// persistent example store over HTTP so generated data examples are
+// browsable, cacheable and usable for substitute search without a fresh
+// generation run. The endpoints (mounted under a prefix of the caller's
+// choosing, /api in dexa-serve):
+//
+//	GET  /catalog                      — every registered module with annotation status
+//	GET  /modules/{id}                 — one module's signature, health and annotation metadata
+//	GET  /modules/{id}/examples        — the stored example set; ETag = content hash,
+//	                                     If-None-Match answers 304 without touching the set
+//	POST /modules/{id}/generate        — on-demand annotation through the store-backed
+//	                                     source: concurrent identical requests collapse to
+//	                                     one generator run (singleflight), the result is
+//	                                     persisted before the first response leaves
+//	POST /modules/{id}/generate?refresh=1 — force regeneration (content-hash no-op if stable)
+//	GET  /modules/{id}/substitutes     — rank live substitutes for a module from its
+//	                                     stored examples (the workflow-repair query)
+//	GET  /stats                        — store and generation counters
+//
+// All responses are JSON. Errors use {"error": "..."} with a matching
+// status code.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"dexa/internal/core"
+	"dexa/internal/dataexample"
+	"dexa/internal/match"
+	"dexa/internal/module"
+	"dexa/internal/registry"
+	"dexa/internal/store"
+)
+
+// Server wires the registry, the example store, the store-backed
+// generation source and the comparer into an http.Handler. Registry and
+// Store are required; Source and Comparer are optional — without a
+// Source /generate answers 501, without a Comparer /substitutes does.
+type Server struct {
+	Registry *registry.Registry
+	Store    *store.Store
+	Source   *store.Source
+	Comparer *match.Comparer
+}
+
+// Handler returns the API handler. Mount it under a prefix with
+// http.StripPrefix.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /catalog", s.handleCatalog)
+	mux.HandleFunc("GET /modules/{id}", s.handleModule)
+	mux.HandleFunc("GET /modules/{id}/examples", s.handleExamples)
+	mux.HandleFunc("POST /modules/{id}/generate", s.handleGenerate)
+	mux.HandleFunc("GET /modules/{id}/substitutes", s.handleSubstitutes)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// lookup resolves the path's module ID against the registry.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*registry.Entry, bool) {
+	id := r.PathValue("id")
+	e, ok := s.Registry.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown module %q", id)
+		return nil, false
+	}
+	return e, true
+}
+
+// catalogEntry is one row of the catalog listing.
+type catalogEntry struct {
+	ID        string `json:"id"`
+	Name      string `json:"name"`
+	Kind      string `json:"kind"`
+	Form      string `json:"form"`
+	Provider  string `json:"provider,omitempty"`
+	Available bool   `json:"available"`
+	// Examples and Hash describe the *stored* annotation; a module that
+	// was never annotated (or whose annotation was not persisted) shows
+	// zero examples and no hash.
+	Examples int    `json:"examples"`
+	Hash     string `json:"hash,omitempty"`
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	ids := s.Registry.IDs()
+	out := make([]catalogEntry, 0, len(ids))
+	for _, id := range ids {
+		e, ok := s.Registry.Get(id)
+		if !ok {
+			continue
+		}
+		ce := catalogEntry{
+			ID:        e.Module.ID,
+			Name:      e.Module.Name,
+			Kind:      e.Module.Kind.String(),
+			Form:      e.Module.Form.String(),
+			Provider:  e.Module.Provider,
+			Available: e.Available,
+		}
+		if set, hash, ok := s.Store.Get(id); ok {
+			ce.Examples = len(set)
+			ce.Hash = hash
+		}
+		out = append(out, ce)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"modules": out, "count": len(out)})
+}
+
+type paramInfo struct {
+	Name     string `json:"name"`
+	Struct   string `json:"struct"`
+	Semantic string `json:"semantic,omitempty"`
+	Optional bool   `json:"optional,omitempty"`
+}
+
+type moduleInfo struct {
+	ID          string      `json:"id"`
+	Name        string      `json:"name"`
+	Description string      `json:"description,omitempty"`
+	Kind        string      `json:"kind"`
+	Form        string      `json:"form"`
+	Provider    string      `json:"provider,omitempty"`
+	Inputs      []paramInfo `json:"inputs"`
+	Outputs     []paramInfo `json:"outputs"`
+	Available   bool        `json:"available"`
+	Examples    int         `json:"examples"`
+	Hash        string      `json:"hash,omitempty"`
+	Version     uint64      `json:"version,omitempty"`
+	Health      *healthInfo `json:"health,omitempty"`
+}
+
+type healthInfo struct {
+	ConsecutiveFailures int    `json:"consecutiveFailures"`
+	TotalFailures       int    `json:"totalFailures"`
+	TotalSuccesses      int    `json:"totalSuccesses"`
+	LastError           string `json:"lastError,omitempty"`
+	AutoRetired         bool   `json:"autoRetired,omitempty"`
+}
+
+func params(ps []module.Parameter) []paramInfo {
+	out := make([]paramInfo, len(ps))
+	for i, p := range ps {
+		out[i] = paramInfo{Name: p.Name, Struct: p.Struct.String(), Semantic: p.Semantic, Optional: p.Optional}
+	}
+	return out
+}
+
+func (s *Server) handleModule(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	m := e.Module
+	info := moduleInfo{
+		ID: m.ID, Name: m.Name, Description: m.Description,
+		Kind: m.Kind.String(), Form: m.Form.String(), Provider: m.Provider,
+		Inputs: params(m.Inputs), Outputs: params(m.Outputs),
+		Available: e.Available,
+	}
+	if set, hash, ok := s.Store.Get(m.ID); ok {
+		info.Examples = len(set)
+		info.Hash = hash
+		if v, ok := s.Store.Version(m.ID); ok {
+			info.Version = v
+		}
+	}
+	if h, ok := s.Registry.HealthOf(m.ID); ok && h != (registry.Health{}) {
+		info.Health = &healthInfo{
+			ConsecutiveFailures: h.ConsecutiveFailures,
+			TotalFailures:       h.TotalFailures,
+			TotalSuccesses:      h.TotalSuccesses,
+			LastError:           h.LastError,
+			AutoRetired:         h.AutoRetired,
+		}
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+type examplesResponse struct {
+	Module   string          `json:"module"`
+	Hash     string          `json:"hash"`
+	Version  uint64          `json:"version"`
+	Count    int             `json:"count"`
+	Examples dataexample.Set `json:"examples"`
+}
+
+// etagMatches implements the If-None-Match comparison: a literal "*"
+// matches anything, otherwise any listed entity tag must equal ours
+// (weak validators compare equal under the weak comparison HTTP caching
+// uses).
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		if part == "*" || strings.TrimPrefix(part, "W/") == etag {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) handleExamples(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	set, hash, ok := s.Store.Get(e.Module.ID)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no stored examples for module %q (POST .../generate to annotate it)", e.Module.ID)
+		return
+	}
+	etag := `"` + hash + `"`
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "no-cache")
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	version, _ := s.Store.Version(e.Module.ID)
+	writeJSON(w, http.StatusOK, examplesResponse{
+		Module: e.Module.ID, Hash: hash, Version: version, Count: len(set), Examples: set,
+	})
+}
+
+type generateResponse struct {
+	Module   string          `json:"module"`
+	Hash     string          `json:"hash"`
+	Count    int             `json:"count"`
+	Cached   bool            `json:"cached"`
+	Changed  bool            `json:"changed,omitempty"`
+	Examples dataexample.Set `json:"examples"`
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if s.Source == nil {
+		writeError(w, http.StatusNotImplemented, "generation is not enabled on this server")
+		return
+	}
+	refresh := false
+	if v := r.URL.Query().Get("refresh"); v != "" {
+		refresh, _ = strconv.ParseBool(v)
+	}
+	var (
+		set     dataexample.Set
+		changed bool
+		err     error
+	)
+	if refresh {
+		set, _, changed, err = s.Source.Refresh(e.Module)
+	} else {
+		var rep *core.Report
+		set, rep, err = s.Source.Generate(e.Module)
+		changed = rep != nil // a nil report means the set came from the store
+	}
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "generating examples for %s: %v", e.Module.ID, err)
+		return
+	}
+	hash, _ := s.Store.Hash(e.Module.ID)
+	w.Header().Set("ETag", `"`+hash+`"`)
+	writeJSON(w, http.StatusOK, generateResponse{
+		Module: e.Module.ID, Hash: hash, Count: len(set), Cached: !changed, Changed: changed, Examples: set,
+	})
+}
+
+type substituteInfo struct {
+	ID       string  `json:"id"`
+	Verdict  string  `json:"verdict"`
+	Score    float64 `json:"score"`
+	Compared int     `json:"compared"`
+	Agreeing int     `json:"agreeing"`
+}
+
+type substitutesResponse struct {
+	Target      string           `json:"target"`
+	Hash        string           `json:"hash"`
+	Substitutes []substituteInfo `json:"substitutes"`
+	Skipped     []skippedInfo    `json:"skipped,omitempty"`
+}
+
+type skippedInfo struct {
+	ID     string `json:"id"`
+	Reason string `json:"reason"`
+}
+
+func (s *Server) handleSubstitutes(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if s.Comparer == nil {
+		writeError(w, http.StatusNotImplemented, "substitute search is not enabled on this server")
+		return
+	}
+	hash, ok := s.Store.Hash(e.Module.ID)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no stored examples for module %q (POST .../generate first)", e.Module.ID)
+		return
+	}
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "invalid limit %q", v)
+			return
+		}
+		limit = n
+	}
+	subs, err := s.Comparer.FindSubstitutesStored(s.Store, e.Module, s.Registry.Available())
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "substitute search for %s: %v", e.Module.ID, err)
+		return
+	}
+	ranked := subs.Ranked
+	if limit > 0 && len(ranked) > limit {
+		ranked = ranked[:limit]
+	}
+	resp := substitutesResponse{Target: e.Module.ID, Hash: hash}
+	for _, c := range ranked {
+		resp.Substitutes = append(resp.Substitutes, substituteInfo{
+			ID:       c.Module.ID,
+			Verdict:  c.Result.Verdict.String(),
+			Score:    c.Result.Score(),
+			Compared: c.Result.Compared,
+			Agreeing: c.Result.Agreeing,
+		})
+	}
+	for _, sk := range subs.Skipped {
+		resp.Skipped = append(resp.Skipped, skippedInfo{ID: sk.ModuleID, Reason: sk.Reason})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type statsResponse struct {
+	Store store.Stats `json:"store"`
+	// GeneratorRuns counts on-demand generation runs performed by this
+	// server's source (singleflight-deduplicated requests count once).
+	GeneratorRuns uint64 `json:"generatorRuns"`
+	Modules       int    `json:"modules"`
+	Available     int    `json:"available"`
+	Annotated     int    `json:"annotated"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := statsResponse{
+		Store:     s.Store.Stats(),
+		Modules:   s.Registry.Len(),
+		Available: len(s.Registry.Available()),
+		Annotated: s.Store.Len(),
+	}
+	if s.Source != nil {
+		resp.GeneratorRuns = s.Source.Runs()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

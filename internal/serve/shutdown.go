@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+
+	"dexa/internal/store"
+)
+
+// DefaultGrace is how long Serve waits for in-flight requests to drain
+// before giving up on them.
+const DefaultGrace = 10 * time.Second
+
+// Serve runs srv on ln until ctx is cancelled, then shuts down
+// gracefully: the listener stops accepting, in-flight requests get up to
+// grace to finish (connection draining), and the store's WAL is flushed
+// and closed so nothing annotated during the run is lost. It returns nil
+// on a clean shutdown.
+//
+// The caller owns signal wiring — pass a signal.NotifyContext context to
+// get SIGINT/SIGTERM handling.
+func Serve(ctx context.Context, srv *http.Server, ln net.Listener, grace time.Duration, st *store.Store) error {
+	if grace <= 0 {
+		grace = DefaultGrace
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	var err error
+	select {
+	case err = <-errc:
+		// The server died on its own (listener error); nothing to drain.
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), grace)
+		err = srv.Shutdown(sctx)
+		cancel()
+		<-errc // Serve has returned http.ErrServerClosed by now
+	}
+	if errors.Is(err, http.ErrServerClosed) {
+		err = nil
+	}
+	if st != nil {
+		if cerr := st.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

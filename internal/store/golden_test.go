@@ -1,0 +1,184 @@
+package store
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dexa/internal/dataexample"
+	"dexa/internal/typesys"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSet is a fixed, hand-built example set. It must never change:
+// the WAL and snapshot goldens (and the content hash asserted below)
+// pin the wire formats against accidental drift.
+func goldenSet() dataexample.Set {
+	hits, err := typesys.NewList(typesys.StringType, typesys.Str("P12345"), typesys.Str("Q67890"))
+	if err != nil {
+		panic(err)
+	}
+	return dataexample.Set{
+		{
+			Inputs: map[string]typesys.Value{
+				"sequence": typesys.Str("MKTWQE"),
+				"maxHits":  typesys.Intv(2),
+			},
+			Outputs: map[string]typesys.Value{
+				"accessions": hits,
+				"eValue":     typesys.Floatv(0.25),
+			},
+			InputPartitions:  map[string]string{"sequence": "ProteinSequence", "maxHits": "Count"},
+			OutputPartitions: map[string]string{"accessions": "AccessionList"},
+		},
+		{
+			Inputs: map[string]typesys.Value{
+				"sequence": typesys.Str("ACGT"),
+				"maxHits":  typesys.Intv(1),
+			},
+			Outputs: map[string]typesys.Value{
+				"error": typesys.Str("not a protein"),
+			},
+			InputPartitions: map[string]string{"sequence": "DNASequence", "maxHits": "Count"},
+		},
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run `go test ./internal/store -update`): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden (%d vs %d bytes).\nThe on-disk wire format is persistent state — bump the format version and write a migration rather than silently changing it.\ngot:\n%s", name, len(got), len(want), got)
+	}
+}
+
+// TestGoldenHash pins the content-address of the golden set: if this
+// changes, every stored hash and ETag in existing deployments changes.
+func TestGoldenHash(t *testing.T) {
+	h, err := HashSet(goldenSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "hash.golden", []byte(h+"\n"))
+}
+
+// TestGoldenWAL fixes the WAL wire format: magic, framing, and the
+// deterministic JSON payloads of a put/put/delete sequence.
+func TestGoldenWAL(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Put("homologySearch", goldenSet()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Put("transcribe", goldenSet()[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("transcribe"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, walFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "wal.golden", data)
+
+	// And the golden WAL must replay to the expected state.
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 1 {
+		t.Errorf("golden WAL replays to %d modules, want 1", r.Len())
+	}
+	want, _ := HashSet(goldenSet())
+	if h, ok := r.Hash("homologySearch"); !ok || h != want {
+		t.Errorf("golden WAL replay hash = %q, want %q", h, want)
+	}
+}
+
+// TestGoldenSnapshot fixes the snapshot wire format: document layout,
+// record order, and the records checksum.
+func TestGoldenSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Put("homologySearch", goldenSet()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Put("transcribe", goldenSet()[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, snapshotFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "snapshot.golden", data)
+
+	// The golden snapshot must load back verbatim.
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 2 {
+		t.Errorf("golden snapshot loads %d modules, want 2", r.Len())
+	}
+}
+
+// TestDeterministicEncoding re-encodes the golden set many times and
+// across value-map rebuilds: the store's content addressing is only
+// sound if the encoding never wobbles.
+func TestDeterministicEncoding(t *testing.T) {
+	first, err := EncodeSet(goldenSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		again, err := EncodeSet(goldenSet())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatalf("encoding differs on iteration %d", i)
+		}
+	}
+	if h1, _ := HashSet(nil); h1 == "" {
+		t.Error("nil set must hash")
+	}
+	h1, _ := HashSet(nil)
+	h2, _ := HashSet(dataexample.Set{})
+	if h1 != h2 {
+		t.Errorf("nil and empty sets hash differently: %s vs %s", h1, h2)
+	}
+}

@@ -1,0 +1,34 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"dexa/internal/dataexample"
+)
+
+// EncodeSet returns the canonical byte encoding of an example set: the
+// deterministic JSON produced by dataexample's sorted-key marshaller. A
+// nil set encodes identically to an empty one, so "no examples yet" has a
+// single canonical form. Content hashes, the WAL, the snapshot format and
+// the serving layer's ETags are all derived from these bytes.
+func EncodeSet(set dataexample.Set) ([]byte, error) {
+	if set == nil {
+		set = dataexample.Set{}
+	}
+	return json.Marshal(set)
+}
+
+// HashSet returns the content address of an example set: the hex SHA-256
+// of its canonical encoding. Two sets hash equal iff they encode to the
+// same bytes, which makes change detection (and HTTP revalidation) a
+// string comparison instead of a deep walk over values.
+func HashSet(set dataexample.Set) (string, error) {
+	data, err := EncodeSet(set)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}

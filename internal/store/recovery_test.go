@@ -1,0 +1,196 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// crashOpen opens a store on dir without ever closing the previous one —
+// the moral equivalent of the process dying: OS-buffered writes are on
+// disk (same filesystem), but no Close/Flush ordering ran.
+func crashOpen(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestCrashRecoveryTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, _, err := s.Put(fmt.Sprintf("m%d", i), testSet(t, fmt.Sprint(i), 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil { // the durability point
+		t.Fatal(err)
+	}
+	if _, _, err := s.Put("tail", testSet(t, "tail", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Crash mid-write: the process dies while appending the last frame.
+	// Simulate by cutting bytes off the WAL tail without closing.
+	walPath := filepath.Join(dir, walFileName)
+	fi, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(walPath, fi.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	r := crashOpen(t, dir)
+	st := r.Stats()
+	if !st.TailTruncated {
+		t.Error("recovery should report a truncated tail")
+	}
+	// Everything up to the last sync survives; the torn record is gone.
+	if st.Recovered != 5 || r.Len() != 5 {
+		t.Fatalf("recovered %d records, %d modules; want 5, 5 (%v)", st.Recovered, r.Len(), r.IDs())
+	}
+	for i := 0; i < 5; i++ {
+		id := fmt.Sprintf("m%d", i)
+		want, _ := HashSet(testSet(t, fmt.Sprint(i), 2))
+		if h, ok := r.Hash(id); !ok || h != want {
+			t.Errorf("%s: hash %q after recovery, want %q", id, h, want)
+		}
+	}
+	if _, _, ok := r.Get("tail"); ok {
+		t.Error("torn tail record should not survive")
+	}
+	// The truncated log accepts new appends and they survive another cycle.
+	if _, _, err := r.Put("after", testSet(t, "after", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if r2.Len() != 6 {
+		t.Errorf("after recovery + append + restart: %d modules, want 6", r2.Len())
+	}
+}
+
+func TestCrashRecoveryCorruptTailCRC(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SyncOnPut: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := s.Put(fmt.Sprintf("m%d", i), testSet(t, fmt.Sprint(i), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flip a byte inside the last frame's payload: length still reads,
+	// CRC catches the rot.
+	walPath := filepath.Join(dir, walFileName)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0xFF
+	if err := os.WriteFile(walPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := crashOpen(t, dir)
+	if r.Len() != 2 {
+		t.Fatalf("recovered %d modules, want 2 (corrupt record dropped)", r.Len())
+	}
+	if !r.Stats().TailTruncated {
+		t.Error("corrupt CRC should truncate the tail")
+	}
+}
+
+func TestCrashDuringWALCreation(t *testing.T) {
+	dir := t.TempDir()
+	// A zero-byte WAL — crash between create and magic write.
+	if err := os.WriteFile(filepath.Join(dir, walFileName), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("zero-byte wal should be recreated, got %v", err)
+	}
+	defer s.Close()
+	if _, _, err := s.Put("m", testSet(t, "m", 1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 1 {
+		t.Errorf("Len = %d after recreate cycle, want 1", r.Len())
+	}
+}
+
+func TestNotAWALIsAHardError(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, walFileName), []byte("definitely not a wal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("opening a non-WAL file as a WAL should fail loudly")
+	}
+}
+
+func TestCorruptSnapshotIsAHardError(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("m", testSet(t, "m", 1))
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	snapPath := filepath.Join(dir, snapshotFileName)
+	data, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bit rot inside the records payload: CRC mismatch.
+	rotten := append([]byte(nil), data...)
+	for i := range rotten {
+		// Flip a character inside a module ID ("m") to corrupt content
+		// without breaking JSON syntax.
+		if rotten[i] == '"' && i+2 < len(rotten) && rotten[i+1] == 'm' && rotten[i+2] == '"' {
+			rotten[i+1] = 'q'
+			break
+		}
+	}
+	if err := os.WriteFile(snapPath, rotten, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("checksum-mismatched snapshot should fail Open")
+	}
+
+	// Outright truncation: undecodable JSON.
+	if err := os.WriteFile(snapPath, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("truncated snapshot should fail Open")
+	}
+}

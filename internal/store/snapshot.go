@@ -1,0 +1,122 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"dexa/internal/dataexample"
+)
+
+// The snapshot is the compacted form of the store: one JSON document with
+// every live record (sorted by module ID), the global sequence number the
+// snapshot captures, and an IEEE CRC-32 over the canonical encoding of
+// the records array. Snapshots are written to a temp file in the same
+// directory, fsynced, then renamed over the previous snapshot, so a crash
+// mid-write leaves the old snapshot intact. After a successful snapshot
+// the WAL is truncated: recovery is "load snapshot, replay WAL", and the
+// WAL only ever holds mutations newer than the snapshot (or, after a
+// crash between the rename and the truncate, duplicates the replay
+// ignores by sequence number).
+
+const snapshotVersion = 1
+
+// snapshotRecord is one persisted module annotation.
+type snapshotRecord struct {
+	Module   string          `json:"module"`
+	Hash     string          `json:"hash"`
+	Version  uint64          `json:"version"`
+	Seq      uint64          `json:"seq"`
+	Examples dataexample.Set `json:"examples"`
+}
+
+// snapshotDoc is the on-disk snapshot document.
+type snapshotDoc struct {
+	Version int              `json:"version"`
+	Seq     uint64           `json:"seq"`
+	Records []snapshotRecord `json:"records"`
+	CRC     string           `json:"crc"`
+}
+
+// recordsCRC checksums the canonical encoding of the records array.
+func recordsCRC(recs []snapshotRecord) (string, error) {
+	if recs == nil {
+		recs = []snapshotRecord{}
+	}
+	data, err := json.Marshal(recs)
+	if err != nil {
+		return "", fmt.Errorf("store: encoding snapshot records: %w", err)
+	}
+	return fmt.Sprintf("%08x", crc32.ChecksumIEEE(data)), nil
+}
+
+// writeSnapshot atomically persists the document to path.
+func writeSnapshot(path string, doc snapshotDoc) error {
+	var err error
+	if doc.CRC, err = recordsCRC(doc.Records); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encoding snapshot: %w", err)
+	}
+	data = append(data, '\n')
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snapshot-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: creating snapshot temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: closing snapshot temp: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("store: publishing snapshot: %w", err)
+	}
+	// Persist the rename itself: fsync the directory entry.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// readSnapshot loads and verifies a snapshot. A missing file yields an
+// empty document; a damaged one is a hard error — the snapshot is the
+// compacted history and silently dropping it would silently lose data.
+func readSnapshot(path string) (snapshotDoc, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return snapshotDoc{Version: snapshotVersion}, nil
+	}
+	if err != nil {
+		return snapshotDoc{}, fmt.Errorf("store: reading snapshot: %w", err)
+	}
+	var doc snapshotDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return snapshotDoc{}, fmt.Errorf("store: decoding snapshot %s: %w", path, err)
+	}
+	if doc.Version != snapshotVersion {
+		return snapshotDoc{}, fmt.Errorf("store: snapshot %s has unsupported version %d", path, doc.Version)
+	}
+	crc, err := recordsCRC(doc.Records)
+	if err != nil {
+		return snapshotDoc{}, err
+	}
+	if crc != doc.CRC {
+		return snapshotDoc{}, fmt.Errorf("store: snapshot %s checksum mismatch (have %s, want %s)", path, crc, doc.CRC)
+	}
+	return doc, nil
+}

@@ -1,0 +1,93 @@
+package store
+
+import (
+	"sync/atomic"
+
+	"dexa/internal/core"
+	"dexa/internal/dataexample"
+	"dexa/internal/module"
+)
+
+// Source wires a generator to the store: Generate serves a module's
+// example set from the store when present and otherwise runs the
+// underlying generator exactly once per concurrent burst (singleflight),
+// persisting the result before returning it. It satisfies
+// core.ExampleGenerator and match.ExampleSource, so sweeps, comparers
+// and the serving layer can all draw from the durable store through the
+// same interface they use for live generation.
+//
+// Store hits return a nil *core.Report — the report describes a
+// generation run, and none happened.
+type Source struct {
+	st     *Store
+	gen    core.ExampleGenerator
+	flight flightGroup
+	runs   atomic.Uint64
+}
+
+var _ core.ExampleGenerator = (*Source)(nil)
+
+// NewSource builds a store-backed source over gen.
+func NewSource(st *Store, gen core.ExampleGenerator) *Source {
+	return &Source{st: st, gen: gen}
+}
+
+// Store returns the backing store.
+func (s *Source) Store() *Store { return s.st }
+
+// Runs reports how many underlying generator runs have happened — the
+// observable for singleflight and warm-store tests, and a serving-layer
+// statistic.
+func (s *Source) Runs() uint64 { return s.runs.Load() }
+
+// Generate returns the stored example set for m, generating and
+// persisting it on first demand.
+func (s *Source) Generate(m *module.Module) (dataexample.Set, *core.Report, error) {
+	if set, _, ok := s.st.Get(m.ID); ok {
+		return set, nil, nil
+	}
+	set, rep, err, _ := s.flight.do(m.ID, func() (dataexample.Set, *core.Report, error) {
+		// Double-check under the flight: a previous leader may have landed
+		// the set between our miss and our takeoff.
+		if set, _, ok := s.st.Get(m.ID); ok {
+			return set, nil, nil
+		}
+		s.runs.Add(1)
+		set, rep, err := s.gen.Generate(m)
+		if err != nil {
+			return nil, rep, err
+		}
+		if _, _, err := s.st.Put(m.ID, set); err != nil {
+			return nil, rep, err
+		}
+		return set, rep, nil
+	})
+	return set, rep, err
+}
+
+// Refresh regenerates the module's examples unconditionally (bypassing
+// the store read path, still deduplicating concurrent refreshes) and
+// persists the result. It reports whether the stored content actually
+// changed — re-annotation of a stable module is a content-hash no-op.
+func (s *Source) Refresh(m *module.Module) (set dataexample.Set, rep *core.Report, changed bool, err error) {
+	var didChange bool
+	set, rep, err, shared := s.flight.do("refresh\x00"+m.ID, func() (dataexample.Set, *core.Report, error) {
+		s.runs.Add(1)
+		set, rep, err := s.gen.Generate(m)
+		if err != nil {
+			return nil, rep, err
+		}
+		_, ch, err := s.st.Put(m.ID, set)
+		if err != nil {
+			return nil, rep, err
+		}
+		didChange = ch
+		return set, rep, nil
+	})
+	if shared {
+		// A concurrent refresh did the work; whether the content changed
+		// belongs to that caller. For this one nothing further changed.
+		return set, rep, false, err
+	}
+	return set, rep, didChange, err
+}

@@ -1,0 +1,484 @@
+// Package store implements the durable, versioned example store: the
+// persistence layer that keeps generated data-example annotations alive
+// across process restarts so they can be browsed, served, and used for
+// substitute search without regenerating the catalog (the paper's
+// annotations are only useful if they outlive the run that produced
+// them).
+//
+// Architecture:
+//
+//   - A sharded in-memory index holds the live record per module —
+//     example set, content hash, per-module version, global sequence —
+//     behind per-shard RWMutexes, so concurrent readers never contend on
+//     a single lock.
+//   - Every mutation is first appended to a checksummed write-ahead log
+//     (wal.go); recovery replays it and truncates torn tails, so a crash
+//     loses at most the records after the last sync.
+//   - Snapshot() compacts: it writes the full state to an atomic
+//     snapshot file (snapshot.go) and truncates the WAL. Opening a store
+//     is "load snapshot, replay WAL".
+//   - Example sets are content-addressed (hash.go): a Put whose set
+//     hashes identically to the stored one is a metadata-free no-op,
+//     which makes re-annotation sweeps cheap and gives the serving layer
+//     free ETags.
+//
+// Concurrency: any number of readers may call Get/Hash/Version/IDs/Len/
+// Stats concurrently with writers. Writers (Put/Delete/Snapshot/Flush)
+// are serialized internally on the log mutex, so WAL order, sequence
+// numbers and the index always agree. Callers must treat returned
+// example sets as read-only; the store hands out the same backing slice
+// to every reader.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dexa/internal/dataexample"
+)
+
+const (
+	walFileName      = "wal.log"
+	snapshotFileName = "snapshot.json"
+
+	numShards = 16
+)
+
+// Options tunes a store.
+type Options struct {
+	// CompactEvery triggers an automatic snapshot + WAL truncation after
+	// this many WAL appends. 0 disables auto-compaction (Snapshot can
+	// still be called explicitly).
+	CompactEvery int
+	// SyncOnPut fsyncs the WAL after every mutation. Durable but slow;
+	// the default is to sync on Flush/Snapshot/Close and accept losing
+	// unsynced tail records on a hard crash.
+	SyncOnPut bool
+}
+
+// record is the live index entry for one module.
+type record struct {
+	set     dataexample.Set
+	hash    string
+	version uint64
+	seq     uint64
+}
+
+type shard struct {
+	mu   sync.RWMutex
+	recs map[string]*record
+}
+
+// Store is the persistent example store. Open one with Open; a store
+// opened with an empty directory is memory-only (no WAL, no snapshot) —
+// useful for tests and ephemeral serving.
+type Store struct {
+	dir  string
+	opts Options
+
+	shards [numShards]shard
+
+	// logMu serializes mutations: WAL append, sequence assignment, index
+	// update, snapshot, and compaction all happen under it.
+	logMu   sync.Mutex
+	wal     *walWriter // nil in memory-only mode
+	seq     uint64     // last assigned global sequence
+	snapSeq uint64     // sequence captured by the last snapshot
+	appends int        // WAL records since the last snapshot
+	closed  bool
+
+	recovered int64 // WAL records replayed at Open
+	truncated bool  // Open found and cut a torn WAL tail
+
+	gets, hits, puts, putNoops, deletes atomic.Uint64
+}
+
+// Open opens (or creates) a store rooted at dir. With dir == "" the
+// store is memory-only: fully functional, nothing persisted.
+func Open(dir string, opts Options) (*Store, error) {
+	s := &Store{dir: dir, opts: opts}
+	for i := range s.shards {
+		s.shards[i].recs = make(map[string]*record)
+	}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+
+	snap, err := readSnapshot(filepath.Join(dir, snapshotFileName))
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range snap.Records {
+		sh := s.shard(rec.Module)
+		sh.recs[rec.Module] = &record{set: rec.Examples, hash: rec.Hash, version: rec.Version, seq: rec.Seq}
+	}
+	s.seq = snap.Seq
+	s.snapSeq = snap.Seq
+
+	walPath := filepath.Join(dir, walFileName)
+	recs, goodSize, truncatedAt, err := replayWAL(walPath)
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range recs {
+		s.apply(rec)
+	}
+	s.recovered = int64(len(recs))
+	if truncatedAt >= 0 && goodSize > 0 {
+		// Torn tail: cut the file back to the last intact frame so future
+		// appends start from a clean prefix.
+		if err := os.Truncate(walPath, goodSize); err != nil {
+			return nil, fmt.Errorf("store: truncating torn wal tail: %w", err)
+		}
+		s.truncated = true
+	}
+	if _, err := os.Stat(walPath); os.IsNotExist(err) || goodSize == 0 {
+		s.wal, err = createWAL(walPath)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		s.wal, err = openWAL(walPath, goodSize, int64(len(recs)))
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.appends = len(recs)
+	return s, nil
+}
+
+// apply folds one replayed WAL record into the index. Records apply in
+// sequence order; stale duplicates (a WAL that survived a crash between
+// snapshot rename and truncation) are ignored.
+func (s *Store) apply(rec walRecord) {
+	sh := s.shard(rec.Module)
+	old := sh.recs[rec.Module]
+	if old != nil && rec.Seq <= old.seq {
+		return
+	}
+	switch rec.Op {
+	case opPut:
+		ver := uint64(1)
+		if old != nil {
+			ver = old.version + 1
+		}
+		sh.recs[rec.Module] = &record{set: rec.Examples, hash: rec.Hash, version: ver, seq: rec.Seq}
+	case opDelete:
+		delete(sh.recs, rec.Module)
+	}
+	if rec.Seq > s.seq {
+		s.seq = rec.Seq
+	}
+}
+
+func (s *Store) shard(id string) *shard {
+	// FNV-1a over the module ID.
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return &s.shards[h%numShards]
+}
+
+// Dir returns the store's directory ("" for a memory-only store).
+func (s *Store) Dir() string { return s.dir }
+
+// Put stores the example set for a module, returning its content hash
+// and whether anything changed. A set identical (by content hash) to the
+// stored one is a no-op that touches neither the WAL nor the index.
+func (s *Store) Put(id string, set dataexample.Set) (hash string, changed bool, err error) {
+	if id == "" {
+		return "", false, fmt.Errorf("store: empty module ID")
+	}
+	h, err := HashSet(set)
+	if err != nil {
+		return "", false, fmt.Errorf("store: hashing examples for %s: %w", id, err)
+	}
+	sh := s.shard(id)
+	sh.mu.RLock()
+	old, ok := sh.recs[id]
+	unchanged := ok && old.hash == h
+	sh.mu.RUnlock()
+	if unchanged {
+		s.putNoops.Add(1)
+		return h, false, nil
+	}
+
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	if s.closed {
+		return "", false, fmt.Errorf("store: closed")
+	}
+	// Re-check under the writer lock: another writer may have landed the
+	// same content while we waited.
+	sh.mu.RLock()
+	old, ok = sh.recs[id]
+	unchanged = ok && old.hash == h
+	sh.mu.RUnlock()
+	if unchanged {
+		s.putNoops.Add(1)
+		return h, false, nil
+	}
+
+	seq := s.seq + 1
+	if s.wal != nil {
+		if err := s.wal.append(walRecord{Seq: seq, Op: opPut, Module: id, Hash: h, Examples: set}); err != nil {
+			return "", false, err
+		}
+		if s.opts.SyncOnPut {
+			if err := s.wal.sync(); err != nil {
+				return "", false, err
+			}
+		}
+	}
+	s.seq = seq
+	s.appends++
+
+	sh.mu.Lock()
+	ver := uint64(1)
+	if old != nil {
+		ver = old.version + 1
+	}
+	sh.recs[id] = &record{set: set, hash: h, version: ver, seq: seq}
+	sh.mu.Unlock()
+	s.puts.Add(1)
+
+	if s.opts.CompactEvery > 0 && s.appends >= s.opts.CompactEvery {
+		if err := s.snapshotLocked(); err != nil {
+			return h, true, err
+		}
+	}
+	return h, true, nil
+}
+
+// Delete removes a module's stored examples (a tombstone is logged so
+// the deletion survives restart). Deleting an absent module is a no-op.
+func (s *Store) Delete(id string) error {
+	sh := s.shard(id)
+	sh.mu.RLock()
+	_, ok := sh.recs[id]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	seq := s.seq + 1
+	if s.wal != nil {
+		if err := s.wal.append(walRecord{Seq: seq, Op: opDelete, Module: id}); err != nil {
+			return err
+		}
+		if s.opts.SyncOnPut {
+			if err := s.wal.sync(); err != nil {
+				return err
+			}
+		}
+	}
+	s.seq = seq
+	s.appends++
+	sh.mu.Lock()
+	delete(sh.recs, id)
+	sh.mu.Unlock()
+	s.deletes.Add(1)
+	return nil
+}
+
+// Get returns the stored example set and its content hash. The returned
+// set is shared and must be treated as read-only.
+func (s *Store) Get(id string) (dataexample.Set, string, bool) {
+	s.gets.Add(1)
+	sh := s.shard(id)
+	sh.mu.RLock()
+	r, ok := sh.recs[id]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, "", false
+	}
+	s.hits.Add(1)
+	return r.set, r.hash, true
+}
+
+// Hash returns just the content hash — the cheap change-detection probe.
+func (s *Store) Hash(id string) (string, bool) {
+	sh := s.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	r, ok := sh.recs[id]
+	if !ok {
+		return "", false
+	}
+	return r.hash, true
+}
+
+// Version returns how many times the module's stored set has changed.
+func (s *Store) Version(id string) (uint64, bool) {
+	sh := s.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	r, ok := sh.recs[id]
+	if !ok {
+		return 0, false
+	}
+	return r.version, true
+}
+
+// IDs returns the stored module IDs, sorted.
+func (s *Store) IDs() []string {
+	var ids []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id := range sh.recs {
+			ids = append(ids, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Len returns the number of stored modules.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.recs)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Stats is an operational snapshot of the store.
+type Stats struct {
+	Dir      string `json:"dir,omitempty"`
+	Memory   bool   `json:"memory"`
+	Modules  int    `json:"modules"`
+	Examples int    `json:"examples"`
+
+	Seq         uint64 `json:"seq"`
+	SnapshotSeq uint64 `json:"snapshotSeq"`
+	WALRecords  int64  `json:"walRecords"`
+	WALBytes    int64  `json:"walBytes"`
+
+	Recovered     int64 `json:"recovered"`
+	TailTruncated bool  `json:"tailTruncated"`
+
+	Gets     uint64 `json:"gets"`
+	Hits     uint64 `json:"hits"`
+	Puts     uint64 `json:"puts"`
+	PutNoops uint64 `json:"putNoops"`
+	Deletes  uint64 `json:"deletes"`
+}
+
+// Stats reports counters and sizes. Safe to call concurrently with
+// readers and writers.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Dir:      s.dir,
+		Memory:   s.dir == "",
+		Gets:     s.gets.Load(),
+		Hits:     s.hits.Load(),
+		Puts:     s.puts.Load(),
+		PutNoops: s.putNoops.Load(),
+		Deletes:  s.deletes.Load(),
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		st.Modules += len(sh.recs)
+		for _, r := range sh.recs {
+			st.Examples += len(r.set)
+		}
+		sh.mu.RUnlock()
+	}
+	s.logMu.Lock()
+	st.Seq = s.seq
+	st.SnapshotSeq = s.snapSeq
+	st.Recovered = s.recovered
+	st.TailTruncated = s.truncated
+	if s.wal != nil {
+		st.WALRecords = s.wal.records
+		st.WALBytes = s.wal.bytes
+	}
+	s.logMu.Unlock()
+	return st
+}
+
+// Flush forces the WAL to stable storage. Examples written before a
+// Flush survive any crash; unsynced tail records may not.
+func (s *Store) Flush() error {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	if s.closed || s.wal == nil {
+		return nil
+	}
+	return s.wal.sync()
+}
+
+// Snapshot compacts the store: it atomically writes the full state to
+// the snapshot file and truncates the WAL. Readers and writers may run
+// concurrently; the snapshot captures a consistent cut (it holds the
+// writer lock, so no mutation can land between the WAL cut and the
+// snapshot contents).
+func (s *Store) Snapshot() error {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	return s.snapshotLocked()
+}
+
+func (s *Store) snapshotLocked() error {
+	if s.dir == "" {
+		return nil
+	}
+	var recs []snapshotRecord
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id, r := range sh.recs {
+			recs = append(recs, snapshotRecord{Module: id, Hash: r.hash, Version: r.version, Seq: r.seq, Examples: r.set})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Module < recs[j].Module })
+	doc := snapshotDoc{Version: snapshotVersion, Seq: s.seq, Records: recs}
+	if err := writeSnapshot(filepath.Join(s.dir, snapshotFileName), doc); err != nil {
+		return err
+	}
+	s.snapSeq = s.seq
+	s.appends = 0
+	return s.wal.reset()
+}
+
+// Close flushes the WAL and releases the store. Further mutations fail;
+// reads keep working against the in-memory index.
+func (s *Store) Close() error {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.wal.sync(); err != nil {
+		s.wal.close()
+		return err
+	}
+	return s.wal.close()
+}

@@ -1,0 +1,187 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"dexa/internal/dataexample"
+)
+
+// The write-ahead log is an append-only file of length-prefixed,
+// checksummed JSON records:
+//
+//	file   = magic frame*
+//	magic  = "DEXAWAL1"                       (8 bytes)
+//	frame  = length(uint32 BE) crc32(uint32 BE) payload
+//	payload = JSON walRecord, `length` bytes, IEEE CRC-32 `crc32`
+//
+// Appends go to the end of the file; a crash can only damage the final
+// frame. Replay accepts every frame whose length and checksum verify and
+// truncates the file back to the last good frame when it meets a torn or
+// corrupt tail, so a mid-write crash loses at most the records after the
+// last sync and never poisons the store.
+
+const walMagic = "DEXAWAL1"
+
+// walFrameOverhead is the per-record framing cost (length + CRC).
+const walFrameOverhead = 8
+
+// maxWALRecordSize bounds a single record so a corrupt length prefix
+// cannot make replay attempt a multi-gigabyte allocation.
+const maxWALRecordSize = 64 << 20
+
+const (
+	opPut    = "put"
+	opDelete = "delete"
+)
+
+// walRecord is one logged mutation.
+type walRecord struct {
+	Seq      uint64          `json:"seq"`
+	Op       string          `json:"op"`
+	Module   string          `json:"module"`
+	Hash     string          `json:"hash,omitempty"`
+	Examples dataexample.Set `json:"examples,omitempty"`
+}
+
+// walWriter appends frames to an open WAL file.
+type walWriter struct {
+	f       *os.File
+	records int64
+	bytes   int64
+}
+
+// createWAL creates (or truncates) a WAL file and writes the magic.
+func createWAL(path string) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: creating wal: %w", err)
+	}
+	if _, err := f.WriteString(walMagic); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: writing wal header: %w", err)
+	}
+	return &walWriter{f: f, bytes: int64(len(walMagic))}, nil
+}
+
+// openWAL opens an existing WAL positioned at its current end.
+func openWAL(path string, size int64, records int64) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening wal: %w", err)
+	}
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: seeking wal end: %w", err)
+	}
+	return &walWriter{f: f, records: records, bytes: size}, nil
+}
+
+// append frames and writes one record. It does not sync; callers decide
+// the durability point (per-put or explicit Flush).
+func (w *walWriter) append(rec walRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encoding wal record: %w", err)
+	}
+	frame := make([]byte, walFrameOverhead+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("store: appending wal record: %w", err)
+	}
+	w.records++
+	w.bytes += int64(len(frame))
+	return nil
+}
+
+// sync forces the log to stable storage.
+func (w *walWriter) sync() error {
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("store: syncing wal: %w", err)
+	}
+	return nil
+}
+
+// reset truncates the log back to just the magic header (after a
+// snapshot has absorbed its records).
+func (w *walWriter) reset() error {
+	if err := w.f.Truncate(int64(len(walMagic))); err != nil {
+		return fmt.Errorf("store: truncating wal: %w", err)
+	}
+	if _, err := w.f.Seek(int64(len(walMagic)), io.SeekStart); err != nil {
+		return fmt.Errorf("store: rewinding wal: %w", err)
+	}
+	w.records = 0
+	w.bytes = int64(len(walMagic))
+	return w.sync()
+}
+
+func (w *walWriter) close() error {
+	if w == nil || w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// replayWAL reads every intact record from the log. A torn or corrupt
+// tail (short frame, short payload, or CRC mismatch) ends the replay at
+// the last good frame and is reported through truncatedAt >= 0; the
+// caller truncates the file there before appending again. A missing file
+// replays to nothing. Damage before the tail — an unreadable header —
+// is a hard error: it means the file is not a WAL at all.
+func replayWAL(path string) (recs []walRecord, goodSize int64, truncatedAt int64, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, 0, -1, nil
+	}
+	if err != nil {
+		return nil, 0, -1, fmt.Errorf("store: opening wal: %w", err)
+	}
+	defer f.Close()
+
+	magic := make([]byte, len(walMagic))
+	if _, err := io.ReadFull(f, magic); err != nil {
+		// Shorter than the magic: a crash during WAL creation. Nothing to
+		// recover; signal the caller to recreate the file from scratch.
+		return nil, 0, 0, nil
+	}
+	if string(magic) != walMagic {
+		return nil, 0, -1, fmt.Errorf("store: %s is not a wal (bad magic)", path)
+	}
+	offset := int64(len(walMagic))
+	header := make([]byte, walFrameOverhead)
+	for {
+		if _, err := io.ReadFull(f, header); err != nil {
+			if err == io.EOF {
+				return recs, offset, -1, nil // clean end
+			}
+			return recs, offset, offset, nil // torn frame header
+		}
+		length := binary.BigEndian.Uint32(header[0:4])
+		sum := binary.BigEndian.Uint32(header[4:8])
+		if length > maxWALRecordSize {
+			return recs, offset, offset, nil // corrupt length prefix
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return recs, offset, offset, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, offset, offset, nil // bit rot / partial overwrite
+		}
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, offset, offset, nil // checksummed but undecodable
+		}
+		offset += walFrameOverhead + int64(length)
+		recs = append(recs, rec)
+	}
+}
