@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race race-store bench bench-smoke experiments
+.PHONY: ci vet build test race race-store bench bench-smoke bench-overhead experiments
 
-ci: vet build race race-store bench-smoke
+ci: vet build race race-store bench-smoke bench-overhead
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +26,12 @@ race-store:
 # compile or crash without paying for a full measurement run.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Telemetry-overhead gate: generation with a live metrics registry must
+# stay within 5% of the no-op recorder. Remeasures once on failure to
+# absorb scheduler noise; exits non-zero on a reproducible regression.
+bench-overhead:
+	$(GO) run ./cmd/dexa-bench -overhead-only
 
 # Full measurement run: writes a BENCH_<date>.json snapshot. Compare
 # against a committed snapshot with:

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -34,9 +35,11 @@ import (
 	"dexa/internal/core"
 	"dexa/internal/match"
 	"dexa/internal/module"
+	"dexa/internal/resilient"
 	"dexa/internal/simulation"
 	"dexa/internal/simulation/bio"
 	"dexa/internal/store"
+	"dexa/internal/telemetry"
 )
 
 // Measurement is one benchmark result.
@@ -71,6 +74,8 @@ func main() {
 	out := flag.String("o", "", "output JSON path (default BENCH_<date>.json)")
 	baseline := flag.String("baseline", "", "previous snapshot to compare against")
 	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional ns/op slowdown vs the baseline before failing")
+	overheadOnly := flag.Bool("overhead-only", false, "run only the telemetry-overhead gate (no snapshot); exit non-zero when instrumented generation exceeds the overhead tolerance")
+	overheadTol := flag.Float64("overhead-tolerance", 0.05, "allowed fractional slowdown of instrumented generation over the no-op recorder")
 	flag.Parse()
 	if *out == "" {
 		*out = "BENCH_" + time.Now().Format("2006-01-02") + ".json"
@@ -85,7 +90,7 @@ func main() {
 
 	var results []Measurement
 	byName := map[string]Measurement{}
-	run := func(name string, f func(b *testing.B)) {
+	measure := func(name string, f func(b *testing.B)) Measurement {
 		fmt.Fprintf(os.Stderr, "  %-36s", name)
 		r := testing.Benchmark(f)
 		m := Measurement{
@@ -95,9 +100,83 @@ func main() {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
 		}
+		fmt.Fprintf(os.Stderr, "%12.0f ns/op %8d allocs/op\n", m.NsPerOp, m.AllocsPerOp)
+		return m
+	}
+	run := func(name string, f func(b *testing.B)) {
+		m := measure(name, f)
 		results = append(results, m)
 		byName[name] = m
-		fmt.Fprintf(os.Stderr, "%12.0f ns/op %8d allocs/op\n", m.NsPerOp, m.AllocsPerOp)
+	}
+
+	// Telemetry-overhead gate: the same generation loop through the full
+	// resilient stack, once with a nil registry (every recorder a no-op)
+	// and once with a live registry recording every counter and histogram.
+	// The instrumented variant must stay within -overhead-tolerance of the
+	// no-op one. Trace spans are request-scoped and opt-in (they cost
+	// nothing unless a tracer rides the context), so the traced variant is
+	// recorded for visibility but not gated: per-invocation spans in the
+	// combination loop are priced per request, not per sweep.
+	overheadEntry, ok := u.Catalog.Get("getRecordSummary")
+	if !ok {
+		fmt.Fprintln(os.Stderr, "getRecordSummary missing from catalog")
+		os.Exit(1)
+	}
+	overheadInner := overheadEntry.Module.Executor()
+	overheadVariant := func(reg *telemetry.Registry, tracer *telemetry.Tracer) func(b *testing.B) {
+		return func(b *testing.B) {
+			overheadEntry.Module.Bind(resilient.Wrap(overheadEntry.Module.ID, overheadInner, resilient.Options{Metrics: reg}))
+			gen := core.NewGenerator(u.Ont, u.Pool)
+			ctx := context.Background()
+			if tracer != nil {
+				ctx = telemetry.WithTracer(ctx, tracer)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := gen.GenerateContext(ctx, overheadEntry.Module); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	overheadPair := func() (noop, inst Measurement) {
+		noop = measure("telemetry-overhead/noop", overheadVariant(nil, nil))
+		inst = measure("telemetry-overhead/instrumented", overheadVariant(telemetry.NewRegistry(), nil))
+		overheadEntry.Module.Bind(overheadInner)
+		return noop, inst
+	}
+	// checkOverhead measures the pair (optionally recording it into the
+	// snapshot) and gates on the ratio. One remeasure absorbs scheduler
+	// noise: the gate takes the better of the two ratios, so only a
+	// reproducible slowdown fails the build.
+	checkOverhead := func(record bool) bool {
+		noop, inst := overheadPair()
+		if record {
+			results = append(results, noop, inst)
+			byName[noop.Name], byName[inst.Name] = noop, inst
+		}
+		ratio := inst.NsPerOp / noop.NsPerOp
+		if ratio > 1+*overheadTol {
+			fmt.Fprintf(os.Stderr, "  overhead %.1f%% above the %.0f%% target; remeasuring once\n",
+				(ratio-1)*100, 100**overheadTol)
+			n2, i2 := overheadPair()
+			if r2 := i2.NsPerOp / n2.NsPerOp; r2 < ratio {
+				ratio = r2
+			}
+		}
+		if ratio > 1+*overheadTol {
+			fmt.Fprintf(os.Stderr, "REGRESSION telemetry overhead: instrumented generation is %.1f%% slower than the no-op recorder (tolerance %.0f%%)\n",
+				(ratio-1)*100, 100**overheadTol)
+			return true
+		}
+		fmt.Fprintf(os.Stderr, "telemetry overhead: %+.1f%% (tolerance %.0f%%)\n", (ratio-1)*100, 100**overheadTol)
+		return false
+	}
+	if *overheadOnly {
+		if checkOverhead(false) {
+			os.Exit(1)
+		}
+		return
 	}
 
 	// Catalog generation sweep: sequential loop, worker-pool fan-out, and
@@ -273,6 +352,13 @@ func main() {
 		})
 	}
 
+	overheadFailed := checkOverhead(true)
+	// Informational: full request-style tracing on top of live metrics.
+	// Spans in the per-combination hot loop make this measurably slower;
+	// it is paid per traced request, never by untraced generation.
+	run("telemetry-overhead/traced", overheadVariant(telemetry.NewRegistry(), telemetry.NewTracer(telemetry.DefaultTraceCapacity)))
+	overheadEntry.Module.Bind(overheadInner)
+
 	speedup := func(name, base, variant string) Comparison {
 		c := Comparison{Name: name, Baseline: base, Variant: variant}
 		if v := byName[variant].NsPerOp; v > 0 {
@@ -295,6 +381,7 @@ func main() {
 			speedup("ontology reachability cache", "ontology-partitions/cold", "ontology-partitions/warm"),
 			speedup("homology search sharding", "homology-search/sequential", "homology-search/sharded"),
 			speedup("store read vs write", "store-write/put", "store-read/get"),
+			speedup("telemetry overhead (≥0.95 = within budget)", "telemetry-overhead/noop", "telemetry-overhead/instrumented"),
 		},
 	}
 
@@ -315,10 +402,12 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "snapshot written to %s\n", *out)
 
+	failed := overheadFailed
 	if *baseline != "" {
-		if failed := checkRegression(rep, *baseline, *tolerance); failed {
-			os.Exit(1)
-		}
+		failed = checkRegression(rep, *baseline, *tolerance) || failed
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 

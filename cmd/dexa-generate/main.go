@@ -21,19 +21,26 @@
 //
 //	dexa-generate -module getUniprotRecord -chaos 0.3 -report            # naive under faults
 //	dexa-generate -module getUniprotRecord -chaos 0.3 -resilient -report # recovered
+//
+// -metrics FILE (or "-" for stderr) dumps the run's metrics — store WAL
+// activity, sweep worker-pool counters, resilience/breaker counters,
+// cache hit rates — as Prometheus text exposition when the run finishes.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"dexa/internal/core"
 	"dexa/internal/faults"
 	"dexa/internal/module"
 	"dexa/internal/resilient"
+	"dexa/internal/serve"
 	"dexa/internal/simulation"
 	"dexa/internal/store"
+	"dexa/internal/telemetry"
 )
 
 func main() {
@@ -48,6 +55,7 @@ func main() {
 	failureThreshold := flag.Int("failure-threshold", 5, "auto-retire a module after this many consecutive transient failures (0 disables)")
 	workers := flag.Int("workers", 0, "concurrent generations for -all (0 = GOMAXPROCS); results are deterministic, but with -chaos the fault placement follows goroutine scheduling at widths > 1")
 	storeDir := flag.String("store", "", "persist annotations to (and reuse them from) this example-store directory")
+	metricsOut := flag.String("metrics", "", "dump the run's metrics as Prometheus text exposition to this file on exit (\"-\" for stderr)")
 	flag.Parse()
 
 	if *moduleID == "" && !*all {
@@ -55,8 +63,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	var metrics *telemetry.Registry
+	if *metricsOut != "" {
+		metrics = telemetry.NewRegistry()
+	}
+
 	fmt.Fprintln(os.Stderr, "building experimental universe...")
 	u := simulation.NewUniverse()
+	serve.InstrumentOntology(metrics, u.Ont)
 
 	if *chaos > 0 {
 		profile := faults.Uniform(*chaos)
@@ -76,6 +90,7 @@ func main() {
 		opts := resilient.Options{
 			Policy:   resilient.Policy{MaxAttempts: *maxAttempts, Seed: *chaosSeed},
 			Reporter: u.Registry,
+			Metrics:  metrics,
 		}
 		for _, e := range u.Catalog.Entries {
 			m := e.Module
@@ -89,7 +104,7 @@ func main() {
 	var gen core.ExampleGenerator = u.Gen
 	if *storeDir != "" {
 		var err error
-		st, err = store.Open(*storeDir, store.Options{CompactEvery: 256})
+		st, err = store.Open(*storeDir, store.Options{CompactEvery: 256, Metrics: metrics})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -97,6 +112,7 @@ func main() {
 		stats := st.Stats()
 		fmt.Fprintf(os.Stderr, "store %s: %d modules already annotated\n", *storeDir, stats.Modules)
 		source = store.NewSource(st, u.Gen)
+		serve.InstrumentSource(metrics, source)
 		gen = source
 	}
 
@@ -105,7 +121,7 @@ func main() {
 		for i, e := range u.Catalog.Entries {
 			mods[i] = e.Module
 		}
-		sweep := &core.SweepGenerator{Gen: gen, Workers: *workers}
+		sweep := &core.SweepGenerator{Gen: gen, Workers: *workers, Metrics: metrics}
 		for _, r := range sweep.Sweep(mods) {
 			if r.Err != nil {
 				fmt.Fprintf(os.Stderr, "generating for %s: %v\n", r.ModuleID, r.Err)
@@ -182,5 +198,21 @@ func main() {
 		stats := st.Stats()
 		fmt.Fprintf(os.Stderr, "store %s: %d modules, %d examples (%d generated this run, rest served from the store)\n",
 			*storeDir, stats.Modules, stats.Examples, source.Runs())
+	}
+	if metrics != nil {
+		var w io.Writer = os.Stderr
+		if *metricsOut != "-" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := metrics.WritePrometheus(w); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

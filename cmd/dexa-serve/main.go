@@ -15,6 +15,14 @@
 //	curl http://127.0.0.1:8080/api/modules/getUniprotRecord/substitutes
 //	curl http://127.0.0.1:8080/api/stats
 //	curl http://127.0.0.1:8080/rest/modules
+//	curl http://127.0.0.1:8080/metrics
+//	curl http://127.0.0.1:8080/debug/traces
+//
+// Operations: /metrics serves Prometheus text exposition, /debug/traces
+// the most recent request traces as JSON, and -pprof mounts the
+// net/http/pprof suite under /debug/pprof/. Every API response carries an
+// X-Request-ID (client-supplied IDs are echoed), and -access-log
+// controls the per-request structured log line on stderr.
 //
 // Without -store the service runs on a memory-only store: everything
 // works, nothing survives the process. SIGINT/SIGTERM shut the server
@@ -34,6 +42,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -46,6 +55,7 @@ import (
 	"dexa/internal/serve"
 	"dexa/internal/simulation"
 	"dexa/internal/store"
+	"dexa/internal/telemetry"
 	"dexa/internal/transport"
 )
 
@@ -61,12 +71,23 @@ func main() {
 	latency := flag.Duration("chaos-latency", 250*time.Millisecond, "injected latency per spike")
 	flapEvery := flag.Int("chaos-flap-every", 0, "serve this many requests per module, then go dark (0 disables flapping)")
 	flapFor := flag.Int("chaos-flap-for", 0, "answer 503 for this many requests per dark window")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	accessLog := flag.Bool("access-log", true, "emit one structured log line per API request")
+	traceCap := flag.Int("trace-capacity", telemetry.DefaultTraceCapacity, "recent request traces kept for /debug/traces")
 	flag.Parse()
+
+	metrics := telemetry.Default
+	tracer := telemetry.NewTracer(*traceCap)
+	var logger *slog.Logger
+	if *accessLog {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 
 	fmt.Fprintln(os.Stderr, "building experimental universe...")
 	u := simulation.NewUniverse()
+	serve.InstrumentOntology(metrics, u.Ont)
 
-	st, err := store.Open(*storeDir, store.Options{CompactEvery: *compactEvery, SyncOnPut: *syncOnPut})
+	st, err := store.Open(*storeDir, store.Options{CompactEvery: *compactEvery, SyncOnPut: *syncOnPut, Metrics: metrics})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -87,11 +108,15 @@ func main() {
 	}
 
 	source := store.NewSource(st, u.Gen)
+	serve.InstrumentSource(metrics, source)
 	api := &serve.Server{
-		Registry: u.Registry,
-		Store:    st,
-		Source:   source,
-		Comparer: match.NewComparer(u.Ont, source),
+		Registry:  u.Registry,
+		Store:     st,
+		Source:    source,
+		Comparer:  match.NewComparer(u.Ont, source),
+		Telemetry: metrics,
+		Tracer:    tracer,
+		Logger:    logger,
 	}
 
 	restHandler := http.Handler(transport.RESTHandler(u.Registry))
@@ -118,6 +143,8 @@ func main() {
 	mux.Handle("/rest/", http.StripPrefix("/rest", restHandler))
 	mux.Handle("/soap", soapHandler)
 	mux.Handle("/api/", http.StripPrefix("/api", api.Handler()))
+	mux.Handle("/metrics", serve.Ops(serve.OpsOptions{Registry: metrics, Tracer: tracer}))
+	mux.Handle("/debug/", serve.Ops(serve.OpsOptions{Registry: metrics, Tracer: tracer, Pprof: *pprofOn}))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "ok: %d modules available, %d annotated in store\n",
 			len(u.Registry.Available()), st.Len())

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 
 	"dexa/internal/dataexample"
 	"dexa/internal/module"
@@ -30,11 +32,16 @@ type CachedGenerator struct {
 
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 var (
-	_ ExampleGenerator = (*Generator)(nil)
-	_ ExampleGenerator = (*CachedGenerator)(nil)
+	_ ExampleGenerator        = (*Generator)(nil)
+	_ ExampleGenerator        = (*CachedGenerator)(nil)
+	_ ContextExampleGenerator = (*Generator)(nil)
+	_ ContextExampleGenerator = (*CachedGenerator)(nil)
 )
 
 type cacheEntry struct {
@@ -54,6 +61,14 @@ func (c *CachedGenerator) Generator() *Generator { return c.gen }
 
 // Generate returns the memoized result for m, generating it on first use.
 func (c *CachedGenerator) Generate(m *module.Module) (dataexample.Set, *Report, error) {
+	return c.GenerateContext(context.Background(), m)
+}
+
+// GenerateContext is Generate with a context; the context reaches the
+// underlying generator only for the caller that performs the actual
+// generation (later callers are served from the memo without invoking
+// anything).
+func (c *CachedGenerator) GenerateContext(ctx context.Context, m *module.Module) (dataexample.Set, *Report, error) {
 	c.mu.Lock()
 	e, ok := c.entries[m.ID]
 	if !ok {
@@ -61,10 +76,23 @@ func (c *CachedGenerator) Generate(m *module.Module) (dataexample.Set, *Report, 
 		c.entries[m.ID] = e
 	}
 	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
 	e.once.Do(func() {
-		e.set, e.rep, e.err = c.gen.Generate(m)
+		e.set, e.rep, e.err = c.gen.GenerateContext(ctx, m)
 	})
 	return e.set, e.rep, e.err
+}
+
+// CacheStats reports how many Generate calls were served from the memo
+// (hits) versus how many created a new entry and ran the heuristic
+// (misses). Exported as dexa_example_cache_{hits,misses}_total by the
+// telemetry layer.
+func (c *CachedGenerator) CacheStats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
 }
 
 // Forget drops the memoized result for the module ID, so the next Generate

@@ -21,14 +21,17 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"maps"
 	"sort"
+	"strconv"
 
 	"dexa/internal/dataexample"
 	"dexa/internal/instances"
 	"dexa/internal/module"
 	"dexa/internal/ontology"
+	"dexa/internal/telemetry"
 	"dexa/internal/typesys"
 )
 
@@ -126,13 +129,32 @@ type choice struct {
 // examples together with a generation report. The module must validate and
 // have a semantic annotation on every parameter.
 func (g *Generator) Generate(m *module.Module) (dataexample.Set, *Report, error) {
+	return g.GenerateContext(context.Background(), m)
+}
+
+// GenerateContext is Generate with a context. The context travels into
+// every module invocation (deadline, cancellation, telemetry for
+// context-aware executors), and when a telemetry tracer is attached the
+// whole run is recorded as a "core.generate" span annotated with the
+// module ID, combination count and example yield.
+func (g *Generator) GenerateContext(ctx context.Context, m *module.Module) (set dataexample.Set, rep *Report, err error) {
+	ctx, span := telemetry.StartSpan(ctx, "core.generate")
+	span.Annotate("module", m.ID)
+	defer func() {
+		if rep != nil {
+			span.Annotate("combinations", strconv.Itoa(rep.TotalCombinations))
+			span.Annotate("examples", strconv.Itoa(rep.Examples))
+		}
+		span.Fail(err)
+		span.End()
+	}()
 	if err := m.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("core: %w", err)
 	}
 	if !m.Bound() {
 		return nil, nil, fmt.Errorf("core: module %s has no executor bound", m.ID)
 	}
-	rep := newReport(m)
+	rep = newReport(m)
 
 	// Phase 1+2: partition every input domain and select values.
 	perParam := make([][]choice, len(m.Inputs))
@@ -183,7 +205,6 @@ func (g *Generator) Generate(m *module.Module) (dataexample.Set, *Report, error)
 		rep.Truncated = combos - limit
 		combos = limit
 	}
-	var set dataexample.Set
 	idx := make([]int, len(perParam))
 	// The combination maps are scratch buffers reused across iterations:
 	// failed and transiently-lost combinations then allocate no maps at
@@ -201,13 +222,13 @@ func (g *Generator) Generate(m *module.Module) (dataexample.Set, *Report, error)
 				inputs[p.Name] = c.value
 			}
 		}
-		outs, err := m.Invoke(inputs)
+		outs, err := m.InvokeContext(ctx, inputs)
 		// Transient transport faults are the network speaking, not the
 		// module: retry them so one dropped connection cannot silently
 		// erase a partition class from the generated example set.
 		for t := 0; err != nil && module.IsTransient(err) && t < g.transientRetries(); t++ {
 			rep.TransientRetries++
-			outs, err = m.Invoke(inputs)
+			outs, err = m.InvokeContext(ctx, inputs)
 		}
 		if err != nil {
 			switch {

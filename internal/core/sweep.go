@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
 
 	"dexa/internal/dataexample"
 	"dexa/internal/module"
+	"dexa/internal/telemetry"
 )
 
 // ExampleGenerator produces the data-example annotation of one module.
@@ -17,6 +19,24 @@ import (
 // was served from a cache or store rather than generated.
 type ExampleGenerator interface {
 	Generate(m *module.Module) (dataexample.Set, *Report, error)
+}
+
+// ContextExampleGenerator is an ExampleGenerator whose generation honours
+// a context (deadline, cancellation, telemetry spans). All generators in
+// this repository implement it; the split interface exists so external
+// ExampleGenerator implementations keep working unchanged.
+type ContextExampleGenerator interface {
+	ExampleGenerator
+	GenerateContext(ctx context.Context, m *module.Module) (dataexample.Set, *Report, error)
+}
+
+// GenerateWithContext runs gen on m, passing the context through when the
+// generator supports it and falling back to plain Generate otherwise.
+func GenerateWithContext(ctx context.Context, gen ExampleGenerator, m *module.Module) (dataexample.Set, *Report, error) {
+	if cg, ok := gen.(ContextExampleGenerator); ok {
+		return cg.GenerateContext(ctx, m)
+	}
+	return gen.Generate(m)
 }
 
 // SweepGenerator fans the generation heuristic out over a module catalog
@@ -47,6 +67,11 @@ type SweepGenerator struct {
 	Gen ExampleGenerator
 	// Workers is the fan-out width; <= 0 selects runtime.GOMAXPROCS(0).
 	Workers int
+	// Metrics, when set, receives worker-pool gauges and counters:
+	// dexa_sweep_busy_workers and dexa_sweep_queue_depth track live pool
+	// state while a sweep runs, dexa_sweep_generations_total counts
+	// per-module generations completed across all sweeps.
+	Metrics *telemetry.Registry
 }
 
 // NewSweepGenerator returns a sweep over g with the default worker count.
@@ -72,13 +97,45 @@ func (s *SweepGenerator) workers(jobs int) int {
 // ordered by module ID. Failures are reported per module rather than
 // aborting the batch — a registry sweep should annotate everything it can.
 func (s *SweepGenerator) Sweep(mods []*module.Module) []BatchResult {
+	return s.SweepContext(context.Background(), mods)
+}
+
+// sweepMetrics holds the pool's telemetry handles; every field is a
+// nil-safe no-op when s.Metrics is nil.
+type sweepMetrics struct {
+	busy        *telemetry.Gauge
+	queue       *telemetry.Gauge
+	generations *telemetry.Counter
+}
+
+func (s *SweepGenerator) metrics() sweepMetrics {
+	r := s.Metrics // nil receiver is fine: nil registry hands out no-op handles
+	return sweepMetrics{
+		busy:        r.Gauge("dexa_sweep_busy_workers", "Sweep workers currently generating."),
+		queue:       r.Gauge("dexa_sweep_queue_depth", "Modules queued for generation in the running sweep."),
+		generations: r.Counter("dexa_sweep_generations_total", "Per-module generations completed by sweeps."),
+	}
+}
+
+// SweepContext is Sweep with a context. The context is shared by every
+// worker's generation (one batch, one deadline), and when Metrics is set
+// the pool reports queue depth, busy workers and completed generations.
+func (s *SweepGenerator) SweepContext(ctx context.Context, mods []*module.Module) []BatchResult {
 	results := make([]BatchResult, len(mods))
+	sm := s.metrics()
+	generate := func(i int) {
+		m := mods[i]
+		sm.busy.Inc()
+		set, rep, err := GenerateWithContext(ctx, s.Gen, m)
+		sm.busy.Dec()
+		sm.generations.Inc()
+		results[i] = BatchResult{ModuleID: m.ID, Examples: set, Report: rep, Err: err}
+	}
 	if s.workers(len(mods)) == 1 {
 		// Inline fast path: a one-worker pool would pay a channel handoff
 		// per module for no concurrency.
-		for i, m := range mods {
-			set, rep, err := s.Gen.Generate(m)
-			results[i] = BatchResult{ModuleID: m.ID, Examples: set, Report: rep, Err: err}
+		for i := range mods {
+			generate(i)
 		}
 		sort.Slice(results, func(i, j int) bool { return results[i].ModuleID < results[j].ModuleID })
 		return results
@@ -90,12 +147,12 @@ func (s *SweepGenerator) Sweep(mods []*module.Module) []BatchResult {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				m := mods[i]
-				set, rep, err := s.Gen.Generate(m)
-				results[i] = BatchResult{ModuleID: m.ID, Examples: set, Report: rep, Err: err}
+				generate(i)
+				sm.queue.Dec()
 			}
 		}()
 	}
+	sm.queue.Add(float64(len(mods)))
 	for i := range mods {
 		jobs <- i
 	}

@@ -13,6 +13,7 @@
 package module
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -252,6 +253,15 @@ func (m *Module) Validate() error {
 // problems are returned as plain errors so callers can tell "the module
 // rejected this combination" from "the caller misused the API".
 func (m *Module) Invoke(inputs map[string]typesys.Value) (map[string]typesys.Value, error) {
+	return m.InvokeContext(context.Background(), inputs)
+}
+
+// InvokeContext is Invoke with a context: when the bound executor honours
+// contexts (ContextExecutor — remote transports, the resilient stack) the
+// context's deadline, cancellation and telemetry travel with the call;
+// plain executors are invoked as before. Validation is identical to
+// Invoke.
+func (m *Module) InvokeContext(ctx context.Context, inputs map[string]typesys.Value) (map[string]typesys.Value, error) {
 	if m.exec == nil {
 		return nil, fmt.Errorf("module %s: no executor bound", m.ID)
 	}
@@ -284,7 +294,7 @@ func (m *Module) Invoke(inputs map[string]typesys.Value) (map[string]typesys.Val
 		}
 		eff[p.Name] = v
 	}
-	outs, err := m.exec.Invoke(eff)
+	outs, err := InvokeWithContext(ctx, m.exec, eff)
 	if err != nil {
 		// Transient transport faults are not the module speaking — they must
 		// not become abnormal terminations, or the generation heuristic would

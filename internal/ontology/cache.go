@@ -31,16 +31,28 @@ type reachability struct {
 // publishes the finished index atomically.
 func (o *Ontology) reach() *reachability {
 	if r := o.cache.Load(); r != nil {
+		o.cacheHits.Add(1)
 		return r
 	}
 	o.cacheMu.Lock()
 	defer o.cacheMu.Unlock()
 	if r := o.cache.Load(); r != nil {
+		o.cacheHits.Add(1)
 		return r
 	}
 	r := o.buildReachability()
 	o.cache.Store(r)
+	o.cacheBuilds.Add(1)
 	return r
+}
+
+// CacheStats reports how many reasoning calls were served by the cached
+// reachability index (hits) and how many rebuilt it (builds). The
+// telemetry layer exports both; a builds count that keeps climbing in a
+// serving process means something is invalidating the ontology cache in
+// the hot path.
+func (o *Ontology) CacheStats() (hits, builds uint64) {
+	return o.cacheHits.Load(), o.cacheBuilds.Load()
 }
 
 // invalidate drops the cached reachability index. Called by every mutator;

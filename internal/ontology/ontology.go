@@ -74,6 +74,11 @@ type Ontology struct {
 	// query after construction or invalidation.
 	cacheMu sync.Mutex
 	cache   atomic.Pointer[reachability]
+
+	// Cache telemetry: reasoning calls served by the prebuilt index vs
+	// full rebuilds (see CacheStats).
+	cacheHits   atomic.Uint64
+	cacheBuilds atomic.Uint64
 }
 
 // New creates an empty ontology with the given name.

@@ -79,6 +79,12 @@ type Breaker struct {
 	probesInUse  int       // admitted half-open probes awaiting a verdict
 	openCount    int       // times the breaker transitioned to open
 	shortCircuit int       // calls rejected while open
+
+	// onTransition, when set, observes every state change. It is invoked
+	// with the breaker mutex held, so it must be fast and must not call
+	// back into the breaker; the telemetry layer uses it to keep a state
+	// gauge and a transition counter current.
+	onTransition func(from, to BreakerState)
 }
 
 // NewBreaker creates a breaker with the given configuration; a nil clock
@@ -99,11 +105,34 @@ func (b *Breaker) State() BreakerState {
 	return b.state
 }
 
+// OnTransition installs a state-change observer (nil clears it). The hook
+// runs with the breaker mutex held — keep it cheap and never call back
+// into the breaker from it. Install before the breaker sees traffic;
+// installation does not synchronise with in-flight calls.
+func (b *Breaker) OnTransition(fn func(from, to BreakerState)) {
+	b.mu.Lock()
+	b.onTransition = fn
+	b.mu.Unlock()
+}
+
+// transition changes state and notifies the observer. Callers must hold
+// b.mu; no-op when the state is unchanged.
+func (b *Breaker) transition(to BreakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(from, to)
+	}
+}
+
 // refresh moves open→half-open once the cool-down has elapsed. Callers
 // must hold b.mu.
 func (b *Breaker) refresh() {
 	if b.state == BreakerOpen && b.clock.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
-		b.state = BreakerHalfOpen
+		b.transition(BreakerHalfOpen)
 		b.probesInUse = 0
 	}
 }
@@ -142,7 +171,7 @@ func (b *Breaker) OnSuccess() {
 	if b.state == BreakerHalfOpen {
 		b.probesInUse = 0
 	}
-	b.state = BreakerClosed
+	b.transition(BreakerClosed)
 	b.consecutive = 0
 }
 
@@ -164,7 +193,7 @@ func (b *Breaker) OnFailure() {
 
 // open transitions to the open state. Callers must hold b.mu.
 func (b *Breaker) open() {
-	b.state = BreakerOpen
+	b.transition(BreakerOpen)
 	b.openedAt = b.clock.Now()
 	b.consecutive = 0
 	b.probesInUse = 0

@@ -13,11 +13,13 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dexa/internal/module"
+	"dexa/internal/telemetry"
 	"dexa/internal/typesys"
 )
 
@@ -62,6 +64,35 @@ type Options struct {
 	Clock Clock
 	// Reporter receives health verdicts; nil disables reporting.
 	Reporter Reporter
+	// Metrics, when set, exports per-module resilience counters
+	// (dexa_resilient_{attempts,retries,recovered,exhausted,
+	// short_circuits}_total{module=...}), the breaker position as
+	// dexa_breaker_state{module=...} (0 closed, 1 open, 2 half-open) and
+	// dexa_breaker_transitions_total{module=...,to=...}. A nil registry
+	// records nothing.
+	Metrics *telemetry.Registry
+}
+
+// executorMetrics holds the per-module telemetry handles; every field is
+// a nil-safe no-op when Options.Metrics is nil.
+type executorMetrics struct {
+	attempts      *telemetry.Counter
+	retries       *telemetry.Counter
+	recovered     *telemetry.Counter
+	exhausted     *telemetry.Counter
+	shortCircuits *telemetry.Counter
+}
+
+// breakerStateValue maps a breaker state onto the gauge encoding.
+func breakerStateValue(s BreakerState) float64 {
+	switch s {
+	case BreakerOpen:
+		return 1
+	case BreakerHalfOpen:
+		return 2
+	default:
+		return 0
+	}
 }
 
 // Executor wraps an inner module.Executor with timeout, retry, and
@@ -77,6 +108,8 @@ type Executor struct {
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	met executorMetrics
 
 	// Stats is live while the executor is in use; read with the atomic
 	// accessors.
@@ -94,7 +127,7 @@ func Wrap(moduleID string, inner module.Executor, opts Options) *Executor {
 	if seed == 0 {
 		seed = 1
 	}
-	return &Executor{
+	e := &Executor{
 		moduleID: moduleID,
 		inner:    inner,
 		policy:   pol,
@@ -103,6 +136,23 @@ func Wrap(moduleID string, inner module.Executor, opts Options) *Executor {
 		reporter: opts.Reporter,
 		rng:      rand.New(rand.NewSource(seed)),
 	}
+	if r := opts.Metrics; r != nil {
+		e.met = executorMetrics{
+			attempts:      r.CounterVec("dexa_resilient_attempts_total", "Provider round-trips attempted.", "module").With(moduleID),
+			retries:       r.CounterVec("dexa_resilient_retries_total", "Attempts beyond each call's first.", "module").With(moduleID),
+			recovered:     r.CounterVec("dexa_resilient_recovered_total", "Calls that faulted transiently but reached a verdict.", "module").With(moduleID),
+			exhausted:     r.CounterVec("dexa_resilient_exhausted_total", "Calls that burned every attempt on transient faults.", "module").With(moduleID),
+			shortCircuits: r.CounterVec("dexa_resilient_short_circuits_total", "Attempts rejected by an open breaker.", "module").With(moduleID),
+		}
+		state := r.GaugeVec("dexa_breaker_state", "Circuit-breaker position: 0 closed, 1 open, 2 half-open.", "module").With(moduleID)
+		state.Set(0)
+		transitions := r.CounterVec("dexa_breaker_transitions_total", "Circuit-breaker state changes by destination.", "module", "to")
+		e.breaker.OnTransition(func(_, to BreakerState) {
+			state.Set(breakerStateValue(to))
+			transitions.With(moduleID, to.String()).Inc()
+		})
+	}
+	return e
 }
 
 // Breaker exposes the wrapped module's circuit breaker (for inspection
@@ -117,13 +167,26 @@ func (e *Executor) Invoke(inputs map[string]typesys.Value) (map[string]typesys.V
 // InvokeContext implements module.ContextExecutor: it drives the inner
 // executor through the retry/breaker state machine until a verdict is
 // reached or the attempt budget is spent.
-func (e *Executor) InvokeContext(ctx context.Context, inputs map[string]typesys.Value) (map[string]typesys.Value, error) {
+func (e *Executor) InvokeContext(ctx context.Context, inputs map[string]typesys.Value) (outs map[string]typesys.Value, err error) {
 	e.Stats.Calls.Add(1)
+	ctx, span := telemetry.StartSpan(ctx, "resilient.invoke")
+	span.Annotate("module", e.moduleID)
+	attempts := 0
+	defer func() {
+		span.Annotate("attempts", strconv.Itoa(attempts))
+		if module.IsTransient(err) {
+			// Only transport faults are failures from the resilience layer's
+			// point of view; an ExecutionError is a healthy verdict.
+			span.Fail(err)
+		}
+		span.End()
+	}()
 	var lastErr error
 	faulted := false
 	for attempt := 1; attempt <= e.policy.MaxAttempts; attempt++ {
 		if attempt > 1 {
 			e.Stats.Retries.Add(1)
+			e.met.retries.Inc()
 			e.clock.Sleep(e.nextBackoff(attempt - 1))
 		}
 		if err := ctx.Err(); err != nil {
@@ -131,16 +194,20 @@ func (e *Executor) InvokeContext(ctx context.Context, inputs map[string]typesys.
 		}
 		if err := e.breaker.Allow(); err != nil {
 			e.Stats.ShortCircuited.Add(1)
+			e.met.shortCircuits.Inc()
 			lastErr = e.stamp(err)
 			continue
 		}
 		e.Stats.Attempts.Add(1)
+		e.met.attempts.Inc()
+		attempts++
 		outs, err := e.invokeOnce(ctx, inputs)
 		if err == nil {
 			e.breaker.OnSuccess()
 			e.report(nil)
 			if faulted {
 				e.Stats.Recovered.Add(1)
+				e.met.recovered.Inc()
 			}
 			return outs, nil
 		}
@@ -151,6 +218,7 @@ func (e *Executor) InvokeContext(ctx context.Context, inputs map[string]typesys.
 			e.report(nil)
 			if faulted {
 				e.Stats.Recovered.Add(1)
+				e.met.recovered.Inc()
 			}
 			return nil, err
 		}
@@ -160,6 +228,7 @@ func (e *Executor) InvokeContext(ctx context.Context, inputs map[string]typesys.
 		lastErr = e.stamp(err)
 	}
 	e.Stats.Exhausted.Add(1)
+	e.met.exhausted.Inc()
 	if lastErr == nil {
 		lastErr = module.Transient(e.moduleID, module.FaultUnknown, nil)
 	}

@@ -24,6 +24,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -34,29 +35,78 @@ import (
 	"dexa/internal/module"
 	"dexa/internal/registry"
 	"dexa/internal/store"
+	"dexa/internal/telemetry"
 )
 
 // Server wires the registry, the example store, the store-backed
 // generation source and the comparer into an http.Handler. Registry and
 // Store are required; Source and Comparer are optional — without a
 // Source /generate answers 501, without a Comparer /substitutes does.
+//
+// The telemetry fields are optional too: with a Telemetry registry every
+// route records request counts, latency histograms, in-flight and
+// response-size metrics (and GET /stats embeds a full registry
+// snapshot); with a Tracer every request becomes a root trace span; with
+// a Logger every request emits one structured access-log line. Request
+// IDs (X-Request-ID) are accepted, generated and echoed regardless.
 type Server struct {
 	Registry *registry.Registry
 	Store    *store.Store
 	Source   *store.Source
 	Comparer *match.Comparer
+
+	Telemetry *telemetry.Registry
+	Tracer    *telemetry.Tracer
+	Logger    *slog.Logger
+}
+
+// route is one API endpoint: the mux pattern, its method (for the 405
+// Allow header on the bare path) and the handler.
+type route struct {
+	method  string
+	pattern string
+	handler http.HandlerFunc
+}
+
+func (s *Server) routes() []route {
+	return []route{
+		{http.MethodGet, "/catalog", s.handleCatalog},
+		{http.MethodGet, "/modules/{id}", s.handleModule},
+		{http.MethodGet, "/modules/{id}/examples", s.handleExamples},
+		{http.MethodPost, "/modules/{id}/generate", s.handleGenerate},
+		{http.MethodGet, "/modules/{id}/substitutes", s.handleSubstitutes},
+		{http.MethodGet, "/stats", s.handleStats},
+	}
 }
 
 // Handler returns the API handler. Mount it under a prefix with
 // http.StripPrefix.
+//
+// Every route is labelled with its pattern (never the raw URL, which
+// would explode metric cardinality), wrong-method requests answer a JSON
+// 405 carrying an Allow header, and unknown paths answer a JSON 404.
 func (s *Server) Handler() http.Handler {
+	ins := telemetry.NewHTTPInstrument(telemetry.HTTPOptions{
+		Registry: s.Telemetry,
+		Tracer:   s.Tracer,
+		Logger:   s.Logger,
+	})
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /catalog", s.handleCatalog)
-	mux.HandleFunc("GET /modules/{id}", s.handleModule)
-	mux.HandleFunc("GET /modules/{id}/examples", s.handleExamples)
-	mux.HandleFunc("POST /modules/{id}/generate", s.handleGenerate)
-	mux.HandleFunc("GET /modules/{id}/substitutes", s.handleSubstitutes)
-	mux.HandleFunc("GET /stats", s.handleStats)
+	for _, rt := range s.routes() {
+		mux.Handle(rt.method+" "+rt.pattern, ins.Route(rt.pattern, rt.handler))
+		// The bare pattern catches every other method: ServeMux precedence
+		// prefers the method-specific registration, so this only fires on a
+		// method mismatch — answer 405 with the Allow header and a JSON
+		// body instead of the mux's plain-text default.
+		allow := rt.method
+		mux.Handle(rt.pattern, ins.Route(rt.pattern, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Allow", allow)
+			writeError(w, http.StatusMethodNotAllowed, "method %s not allowed (allowed: %s)", r.Method, allow)
+		})))
+	}
+	mux.Handle("/", ins.Route("(unmatched)", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
+	})))
 	return mux
 }
 
@@ -269,10 +319,10 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		err     error
 	)
 	if refresh {
-		set, _, changed, err = s.Source.Refresh(e.Module)
+		set, _, changed, err = s.Source.RefreshContext(r.Context(), e.Module)
 	} else {
 		var rep *core.Report
-		set, rep, err = s.Source.Generate(e.Module)
+		set, rep, err = s.Source.GenerateContext(r.Context(), e.Module)
 		changed = rep != nil // a nil report means the set came from the store
 	}
 	if err != nil {
@@ -357,11 +407,17 @@ func (s *Server) handleSubstitutes(w http.ResponseWriter, r *http.Request) {
 type statsResponse struct {
 	Store store.Stats `json:"store"`
 	// GeneratorRuns counts on-demand generation runs performed by this
-	// server's source (singleflight-deduplicated requests count once).
+	// server's source (singleflight-deduplicated requests count once);
+	// DedupHits counts requests that were collapsed onto another
+	// caller's in-flight run.
 	GeneratorRuns uint64 `json:"generatorRuns"`
+	DedupHits     uint64 `json:"dedupHits"`
 	Modules       int    `json:"modules"`
 	Available     int    `json:"available"`
 	Annotated     int    `json:"annotated"`
+	// Telemetry is the full metrics-registry snapshot, present when the
+	// server was wired with one — the JSON twin of GET /metrics.
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -373,6 +429,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.Source != nil {
 		resp.GeneratorRuns = s.Source.Runs()
+		resp.DedupHits = s.Source.SharedHits()
+	}
+	if s.Telemetry != nil {
+		snap := s.Telemetry.Snapshot()
+		resp.Telemetry = &snap
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,11 +1,13 @@
 package store
 
 import (
+	"context"
 	"sync/atomic"
 
 	"dexa/internal/core"
 	"dexa/internal/dataexample"
 	"dexa/internal/module"
+	"dexa/internal/telemetry"
 )
 
 // Source wires a generator to the store: Generate serves a module's
@@ -19,13 +21,17 @@ import (
 // Store hits return a nil *core.Report — the report describes a
 // generation run, and none happened.
 type Source struct {
-	st     *Store
-	gen    core.ExampleGenerator
-	flight flightGroup
-	runs   atomic.Uint64
+	st         *Store
+	gen        core.ExampleGenerator
+	flight     flightGroup
+	runs       atomic.Uint64
+	sharedHits atomic.Uint64
 }
 
-var _ core.ExampleGenerator = (*Source)(nil)
+var (
+	_ core.ExampleGenerator        = (*Source)(nil)
+	_ core.ContextExampleGenerator = (*Source)(nil)
+)
 
 // NewSource builds a store-backed source over gen.
 func NewSource(st *Store, gen core.ExampleGenerator) *Source {
@@ -40,20 +46,37 @@ func (s *Source) Store() *Store { return s.st }
 // statistic.
 func (s *Source) Runs() uint64 { return s.runs.Load() }
 
+// SharedHits reports how many Generate/Refresh calls were deduplicated
+// onto another caller's in-flight generation instead of running their
+// own. Exported as dexa_singleflight_dedup_hits_total by the telemetry
+// layer.
+func (s *Source) SharedHits() uint64 { return s.sharedHits.Load() }
+
 // Generate returns the stored example set for m, generating and
 // persisting it on first demand.
 func (s *Source) Generate(m *module.Module) (dataexample.Set, *core.Report, error) {
+	return s.GenerateContext(context.Background(), m)
+}
+
+// GenerateContext is Generate with a context. Only the caller that
+// actually runs the generator propagates its context into the run;
+// followers deduplicated onto an in-flight generation share the leader's
+// result (and the leader's context). The store lookup and the flight are
+// recorded as a "store.generate" span when a tracer is attached.
+func (s *Source) GenerateContext(ctx context.Context, m *module.Module) (dataexample.Set, *core.Report, error) {
 	if set, _, ok := s.st.Get(m.ID); ok {
 		return set, nil, nil
 	}
-	set, rep, err, _ := s.flight.do(m.ID, func() (dataexample.Set, *core.Report, error) {
+	ctx, span := telemetry.StartSpan(ctx, "store.generate")
+	span.Annotate("module", m.ID)
+	set, rep, err, shared := s.flight.do(m.ID, func() (dataexample.Set, *core.Report, error) {
 		// Double-check under the flight: a previous leader may have landed
 		// the set between our miss and our takeoff.
 		if set, _, ok := s.st.Get(m.ID); ok {
 			return set, nil, nil
 		}
 		s.runs.Add(1)
-		set, rep, err := s.gen.Generate(m)
+		set, rep, err := core.GenerateWithContext(ctx, s.gen, m)
 		if err != nil {
 			return nil, rep, err
 		}
@@ -62,6 +85,12 @@ func (s *Source) Generate(m *module.Module) (dataexample.Set, *core.Report, erro
 		}
 		return set, rep, nil
 	})
+	if shared {
+		s.sharedHits.Add(1)
+		span.Annotate("deduplicated", "true")
+	}
+	span.Fail(err)
+	span.End()
 	return set, rep, err
 }
 
@@ -70,10 +99,22 @@ func (s *Source) Generate(m *module.Module) (dataexample.Set, *core.Report, erro
 // persists the result. It reports whether the stored content actually
 // changed — re-annotation of a stable module is a content-hash no-op.
 func (s *Source) Refresh(m *module.Module) (set dataexample.Set, rep *core.Report, changed bool, err error) {
+	return s.RefreshContext(context.Background(), m)
+}
+
+// RefreshContext is Refresh with a context, recorded as a
+// "store.refresh" span when a tracer is attached.
+func (s *Source) RefreshContext(ctx context.Context, m *module.Module) (set dataexample.Set, rep *core.Report, changed bool, err error) {
+	ctx, span := telemetry.StartSpan(ctx, "store.refresh")
+	span.Annotate("module", m.ID)
+	defer func() {
+		span.Fail(err)
+		span.End()
+	}()
 	var didChange bool
 	set, rep, err, shared := s.flight.do("refresh\x00"+m.ID, func() (dataexample.Set, *core.Report, error) {
 		s.runs.Add(1)
-		set, rep, err := s.gen.Generate(m)
+		set, rep, err := core.GenerateWithContext(ctx, s.gen, m)
 		if err != nil {
 			return nil, rep, err
 		}
@@ -85,6 +126,8 @@ func (s *Source) Refresh(m *module.Module) (set dataexample.Set, rep *core.Repor
 		return set, rep, nil
 	})
 	if shared {
+		s.sharedHits.Add(1)
+		span.Annotate("deduplicated", "true")
 		// A concurrent refresh did the work; whether the content changed
 		// belongs to that caller. For this one nothing further changed.
 		return set, rep, false, err

@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 
 	"dexa/internal/dataexample"
+	"dexa/internal/telemetry"
 )
 
 const (
@@ -58,6 +59,33 @@ type Options struct {
 	// the default is to sync on Flush/Snapshot/Close and accept losing
 	// unsynced tail records on a hard crash.
 	SyncOnPut bool
+	// Metrics, when set, receives the store's operational metrics:
+	// dexa_store_wal_{appends,syncs}_total, dexa_store_wal_bytes,
+	// dexa_store_compactions_total, dexa_store_snapshot_bytes, and the
+	// put/get/delete counters the Stats struct also reports. A nil
+	// registry records nothing at zero cost.
+	Metrics *telemetry.Registry
+}
+
+// storeMetrics holds the store's telemetry handles. Every field is a
+// nil-safe no-op when Options.Metrics is nil, so the hot paths record
+// unconditionally.
+type storeMetrics struct {
+	walAppends    *telemetry.Counter
+	walSyncs      *telemetry.Counter
+	walBytes      *telemetry.Gauge
+	compactions   *telemetry.Counter
+	snapshotBytes *telemetry.Gauge
+}
+
+func newStoreMetrics(r *telemetry.Registry) storeMetrics {
+	return storeMetrics{
+		walAppends:    r.Counter("dexa_store_wal_appends_total", "Records appended to the write-ahead log."),
+		walSyncs:      r.Counter("dexa_store_wal_syncs_total", "WAL fsyncs."),
+		walBytes:      r.Gauge("dexa_store_wal_bytes", "Current size of the write-ahead log in bytes."),
+		compactions:   r.Counter("dexa_store_compactions_total", "Snapshot compactions (WAL truncations)."),
+		snapshotBytes: r.Gauge("dexa_store_snapshot_bytes", "Size of the last written snapshot file in bytes."),
+	}
 }
 
 // record is the live index entry for one module.
@@ -95,15 +123,18 @@ type Store struct {
 	truncated bool  // Open found and cut a torn WAL tail
 
 	gets, hits, puts, putNoops, deletes atomic.Uint64
+
+	met storeMetrics
 }
 
 // Open opens (or creates) a store rooted at dir. With dir == "" the
 // store is memory-only: fully functional, nothing persisted.
 func Open(dir string, opts Options) (*Store, error) {
-	s := &Store{dir: dir, opts: opts}
+	s := &Store{dir: dir, opts: opts, met: newStoreMetrics(opts.Metrics)}
 	for i := range s.shards {
 		s.shards[i].recs = make(map[string]*record)
 	}
+	s.registerFuncMetrics(opts.Metrics)
 	if dir == "" {
 		return s, nil
 	}
@@ -151,7 +182,25 @@ func Open(dir string, opts Options) (*Store, error) {
 		}
 	}
 	s.appends = len(recs)
+	if s.wal != nil {
+		s.met.walBytes.Set(float64(s.wal.bytes))
+	}
 	return s, nil
+}
+
+// registerFuncMetrics exports the store's index counters through func
+// collectors, so the numbers Stats() reports are also scrapeable without
+// double bookkeeping on the hot paths.
+func (s *Store) registerFuncMetrics(r *telemetry.Registry) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc("dexa_store_gets_total", "Store Get calls.", func() float64 { return float64(s.gets.Load()) })
+	r.CounterFunc("dexa_store_get_hits_total", "Store Get calls that found a record.", func() float64 { return float64(s.hits.Load()) })
+	r.CounterFunc("dexa_store_puts_total", "Store Put calls that changed content.", func() float64 { return float64(s.puts.Load()) })
+	r.CounterFunc("dexa_store_put_noops_total", "Store Put calls elided by content hashing.", func() float64 { return float64(s.putNoops.Load()) })
+	r.CounterFunc("dexa_store_deletes_total", "Store Delete calls that removed a record.", func() float64 { return float64(s.deletes.Load()) })
+	r.GaugeFunc("dexa_store_modules", "Modules with a stored example set.", func() float64 { return float64(s.Len()) })
 }
 
 // apply folds one replayed WAL record into the index. Records apply in
@@ -233,10 +282,13 @@ func (s *Store) Put(id string, set dataexample.Set) (hash string, changed bool, 
 		if err := s.wal.append(walRecord{Seq: seq, Op: opPut, Module: id, Hash: h, Examples: set}); err != nil {
 			return "", false, err
 		}
+		s.met.walAppends.Inc()
+		s.met.walBytes.Set(float64(s.wal.bytes))
 		if s.opts.SyncOnPut {
 			if err := s.wal.sync(); err != nil {
 				return "", false, err
 			}
+			s.met.walSyncs.Inc()
 		}
 	}
 	s.seq = seq
@@ -279,10 +331,13 @@ func (s *Store) Delete(id string) error {
 		if err := s.wal.append(walRecord{Seq: seq, Op: opDelete, Module: id}); err != nil {
 			return err
 		}
+		s.met.walAppends.Inc()
+		s.met.walBytes.Set(float64(s.wal.bytes))
 		if s.opts.SyncOnPut {
 			if err := s.wal.sync(); err != nil {
 				return err
 			}
+			s.met.walSyncs.Inc()
 		}
 	}
 	s.seq = seq
@@ -424,7 +479,11 @@ func (s *Store) Flush() error {
 	if s.closed || s.wal == nil {
 		return nil
 	}
-	return s.wal.sync()
+	if err := s.wal.sync(); err != nil {
+		return err
+	}
+	s.met.walSyncs.Inc()
+	return nil
 }
 
 // Snapshot compacts the store: it atomically writes the full state to
@@ -456,12 +515,21 @@ func (s *Store) snapshotLocked() error {
 	}
 	sort.Slice(recs, func(i, j int) bool { return recs[i].Module < recs[j].Module })
 	doc := snapshotDoc{Version: snapshotVersion, Seq: s.seq, Records: recs}
-	if err := writeSnapshot(filepath.Join(s.dir, snapshotFileName), doc); err != nil {
+	snapPath := filepath.Join(s.dir, snapshotFileName)
+	if err := writeSnapshot(snapPath, doc); err != nil {
 		return err
 	}
 	s.snapSeq = s.seq
 	s.appends = 0
-	return s.wal.reset()
+	if err := s.wal.reset(); err != nil {
+		return err
+	}
+	s.met.compactions.Inc()
+	s.met.walBytes.Set(float64(s.wal.bytes))
+	if fi, err := os.Stat(snapPath); err == nil {
+		s.met.snapshotBytes.Set(float64(fi.Size()))
+	}
+	return nil
 }
 
 // Close flushes the WAL and releases the store. Further mutations fail;

@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestRegistryHammer drives recorders, series creation, snapshots and
+// exposition concurrently. Run under -race (the repo's `make race` does),
+// it is the registry's concurrency contract: recording never races with
+// scraping, and totals add up afterwards.
+func TestRegistryHammer(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(16)
+	const (
+		workers = 8
+		iters   = 2000
+	)
+	c := reg.Counter("hammer_total", "")
+	g := reg.Gauge("hammer_gauge", "")
+	h := reg.Histogram("hammer_seconds", "", []float64{0.1, 1})
+	vec := reg.CounterVec("hammer_vec_total", "", "worker")
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := vec.With(fmt.Sprintf("w%d", w))
+			ctx := WithTracer(context.Background(), tr)
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i%3) / 2)
+				mine.Inc()
+				vec.With("shared").Inc()
+				if i%64 == 0 {
+					_, sp := StartSpan(ctx, "hammer")
+					_, child := StartSpan(WithTracer(context.Background(), tr), "solo")
+					child.End()
+					sp.End()
+				}
+			}
+		}(w)
+	}
+	// Concurrent scrapers.
+	stop := make(chan struct{})
+	var scrapers sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					reg.Snapshot()
+					reg.WritePrometheus(io.Discard)
+					tr.Recent()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	scrapers.Wait()
+
+	if got := c.Value(); got != workers*iters {
+		t.Errorf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %v, want 0", got)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+	if got := vec.With("shared").Value(); got != workers*iters {
+		t.Errorf("shared series = %d, want %d", got, workers*iters)
+	}
+	for w := 0; w < workers; w++ {
+		if got := vec.With(fmt.Sprintf("w%d", w)).Value(); got != iters {
+			t.Errorf("worker %d series = %d, want %d", w, got, iters)
+		}
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.042)
+	}
+}
+
+func BenchmarkNoopCounterInc(b *testing.B) {
+	var reg *Registry
+	c := reg.Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkVecWithInc(b *testing.B) {
+	v := NewRegistry().CounterVec("bench_vec_total", "", "route", "code")
+	v.With("/x", "200").Inc()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.With("/x", "200").Inc()
+	}
+}
+
+func BenchmarkStartSpanEnd(b *testing.B) {
+	ctx := WithTracer(context.Background(), NewTracer(16))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "bench")
+		sp.End()
+	}
+}

@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// This file renders a registry in the Prometheus text exposition format
+// (version 0.0.4): HELP/TYPE headers per family, one line per series,
+// histograms as cumulative _bucket/_sum/_count series. Output order is
+// deterministic — families by name, series by label values — so the
+// format is pinned by a golden test.
+
+// formatFloat renders a sample value the way Prometheus expects: shortest
+// round-trippable representation, with +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// writeLabels renders {a="x",b="y"} (empty for no labels), with extra
+// appended last (used for histogram le).
+func writeLabels(b *strings.Builder, labels []Label, extra ...Label) {
+	if len(labels)+len(extra) == 0 {
+		return
+	}
+	b.WriteByte('{')
+	first := true
+	for _, l := range append(labels, extra...) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// WritePrometheus writes the registry's current state to w in the text
+// exposition format. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	var b strings.Builder
+	for _, f := range snap.Families {
+		if f.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.Name, f.Type)
+		for _, s := range f.Series {
+			switch f.Type {
+			case "histogram":
+				for _, bk := range s.Buckets {
+					b.WriteString(f.Name)
+					b.WriteString("_bucket")
+					writeLabels(&b, s.Labels, Label{Name: "le", Value: bk.LE})
+					b.WriteByte(' ')
+					b.WriteString(strconv.FormatUint(bk.Count, 10))
+					b.WriteByte('\n')
+				}
+				b.WriteString(f.Name)
+				b.WriteString("_sum")
+				writeLabels(&b, s.Labels)
+				b.WriteByte(' ')
+				b.WriteString(formatFloat(s.Sum))
+				b.WriteByte('\n')
+				b.WriteString(f.Name)
+				b.WriteString("_count")
+				writeLabels(&b, s.Labels)
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatUint(s.Count, 10))
+				b.WriteByte('\n')
+			default:
+				b.WriteString(f.Name)
+				writeLabels(&b, s.Labels)
+				b.WriteByte(' ')
+				b.WriteString(formatFloat(s.Value))
+				b.WriteByte('\n')
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// MetricsHandler serves the registry in the Prometheus text format —
+// mount it at GET /metrics.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

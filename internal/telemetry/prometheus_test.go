@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exposition format byte for byte: family
+// ordering (by name), series ordering (by label values), HELP/TYPE
+// headers, histogram bucket/sum/count rendering, and value formatting.
+func TestPrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterVec("dexa_requests_total", "Requests served.", "route", "code").With("/catalog", "200").Add(3)
+	reg.CounterVec("dexa_requests_total", "Requests served.", "route", "code").With("/catalog", "404").Inc()
+	reg.CounterVec("dexa_requests_total", "Requests served.", "route", "code").With("/stats", "200").Add(2)
+	reg.Gauge("dexa_in_flight", "In-flight requests.").Set(1.5)
+	h := reg.Histogram("dexa_latency_seconds", "Request latency.", []float64{0.01, 0.1, 1})
+	// Binary-exact observations keep the rendered _sum stable.
+	h.Observe(0.0078125)
+	h.Observe(0.0625)
+	h.Observe(0.0625)
+	h.Observe(7)
+	reg.GaugeFunc("dexa_store_modules", "Stored modules.", func() float64 { return 42 })
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP dexa_in_flight In-flight requests.
+# TYPE dexa_in_flight gauge
+dexa_in_flight 1.5
+# HELP dexa_latency_seconds Request latency.
+# TYPE dexa_latency_seconds histogram
+dexa_latency_seconds_bucket{le="0.01"} 1
+dexa_latency_seconds_bucket{le="0.1"} 3
+dexa_latency_seconds_bucket{le="1"} 3
+dexa_latency_seconds_bucket{le="+Inf"} 4
+dexa_latency_seconds_sum 7.1328125
+dexa_latency_seconds_count 4
+# HELP dexa_requests_total Requests served.
+# TYPE dexa_requests_total counter
+dexa_requests_total{route="/catalog",code="200"} 3
+dexa_requests_total{route="/catalog",code="404"} 1
+dexa_requests_total{route="/stats",code="200"} 2
+# HELP dexa_store_modules Stored modules.
+# TYPE dexa_store_modules gauge
+dexa_store_modules 42
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPrometheusEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterVec("esc_total", "line1\nline2 with \\ backslash", "v").
+		With("quo\"te\\slash\nnewline").Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP esc_total line1\nline2 with \\ backslash
+# TYPE esc_total counter
+esc_total{v="quo\"te\\slash\nnewline"} 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("escaping mismatch:\n got %q\nwant %q", b.String(), want)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("handler_total", "").Inc()
+	rec := httptest.NewRecorder()
+	MetricsHandler(reg).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "handler_total 1") {
+		t.Errorf("body missing sample:\n%s", rec.Body.String())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1:       "1",
+		1.5:     "1.5",
+		0.00025: "0.00025",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package telemetry
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace spans record the shape and timing of one logical operation as it
+// descends through the stack: HTTP request → store-backed source →
+// generation heuristic → resilient executor → transport round-trip. A
+// span is created from a context (StartSpan), timed until End, and may
+// carry string attributes and an error status. Completed *root* spans are
+// pushed into the tracer's bounded ring, so /debug/traces always shows
+// the most recent operations without unbounded memory.
+//
+// Everything is nil-safe: StartSpan on a context with no tracer returns a
+// nil span, and every method on a nil *Span is a no-op. Instrumented code
+// therefore never asks "is tracing on".
+
+// DefaultTraceCapacity bounds the recent-trace ring when NewTracer is
+// given a non-positive capacity.
+const DefaultTraceCapacity = 64
+
+// maxSpanChildren bounds the children recorded per span; a generation
+// sweep over thousands of input combinations must not turn one trace into
+// an unbounded tree. Further children are counted, not stored.
+const maxSpanChildren = 64
+
+// Tracer collects completed root spans in a bounded ring.
+type Tracer struct {
+	capacity int
+	seq      atomic.Uint64
+	started  atomic.Uint64
+	finished atomic.Uint64
+
+	mu   sync.Mutex
+	ring []*Span // completed roots, oldest first
+}
+
+// NewTracer creates a tracer retaining the last capacity root traces
+// (DefaultTraceCapacity when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{capacity: capacity}
+}
+
+// Started returns how many spans have been started through this tracer.
+func (t *Tracer) Started() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.started.Load()
+}
+
+// Finished returns how many spans have ended.
+func (t *Tracer) Finished() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.finished.Load()
+}
+
+func (t *Tracer) push(root *Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring = append(t.ring, root)
+	if len(t.ring) > t.capacity {
+		// Drop the oldest; shift in place to keep one backing array.
+		copy(t.ring, t.ring[1:])
+		t.ring = t.ring[:t.capacity]
+	}
+}
+
+// Attr is one span attribute.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one timed operation. Create with StartSpan, finish with End.
+// A span is safe for concurrent child creation (fan-out under one parent)
+// but End and attribute mutation belong to the goroutine that created it.
+type Span struct {
+	tracer  *Tracer
+	parent  *Span
+	traceID uint64
+	name    string
+	start   time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	err      string
+	attrs    []Attr
+	children []*Span
+	dropped  int
+}
+
+type tracerKey struct{}
+type spanKey struct{}
+
+// WithTracer returns a context that starts root spans on t.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the tracer attached to ctx, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// SpanFrom returns the active span of ctx, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// StartSpan starts a span named name: a child of the context's active
+// span when one exists, otherwise a root span on the context's tracer.
+// With neither in the context it returns (ctx, nil) — and a nil span is
+// free to use. The returned context carries the new span.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFrom(ctx)
+	var tracer *Tracer
+	var traceID uint64
+	if parent != nil {
+		tracer = parent.tracer
+		traceID = parent.traceID
+	} else {
+		tracer = TracerFrom(ctx)
+		if tracer == nil {
+			return ctx, nil
+		}
+		traceID = tracer.seq.Add(1)
+	}
+	sp := &Span{tracer: tracer, parent: parent, traceID: traceID, name: name, start: time.Now()}
+	tracer.started.Add(1)
+	if parent != nil {
+		parent.mu.Lock()
+		if len(parent.children) < maxSpanChildren {
+			parent.children = append(parent.children, sp)
+		} else {
+			parent.dropped++
+		}
+		parent.mu.Unlock()
+	}
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// Annotate attaches a key/value attribute.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// Fail marks the span as errored. A nil error is ignored, so callers can
+// write `sp.Fail(err)` unconditionally on the way out.
+func (s *Span) Fail(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	s.err = err.Error()
+	s.mu.Unlock()
+}
+
+// End finishes the span. Ending a root span publishes the whole trace to
+// the tracer's ring. End is idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.end.IsZero() {
+		s.mu.Unlock()
+		return
+	}
+	s.end = time.Now()
+	s.mu.Unlock()
+	s.tracer.finished.Add(1)
+	if s.parent == nil {
+		s.tracer.push(s)
+	}
+}
+
+// SpanRecord is the JSON form of a completed (or in-flight) span.
+type SpanRecord struct {
+	Trace      uint64       `json:"trace"`
+	Name       string       `json:"name"`
+	Start      time.Time    `json:"start"`
+	DurationMS float64      `json:"durationMs"`
+	InFlight   bool         `json:"inFlight,omitempty"`
+	Error      string       `json:"error,omitempty"`
+	Attrs      []Attr       `json:"attrs,omitempty"`
+	Dropped    int          `json:"droppedChildren,omitempty"`
+	Children   []SpanRecord `json:"children,omitempty"`
+}
+
+// record freezes the span subtree.
+func (s *Span) record() SpanRecord {
+	s.mu.Lock()
+	rec := SpanRecord{
+		Trace:   s.traceID,
+		Name:    s.name,
+		Start:   s.start,
+		Error:   s.err,
+		Attrs:   append([]Attr(nil), s.attrs...),
+		Dropped: s.dropped,
+	}
+	end := s.end
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	if end.IsZero() {
+		rec.InFlight = true
+		end = time.Now()
+	}
+	rec.DurationMS = float64(end.Sub(s.start)) / float64(time.Millisecond)
+	for _, c := range children {
+		rec.Children = append(rec.Children, c.record())
+	}
+	return rec
+}
+
+// Recent returns the retained root traces, newest first.
+func (t *Tracer) Recent() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	roots := append([]*Span(nil), t.ring...)
+	t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(roots))
+	for i := len(roots) - 1; i >= 0; i-- {
+		out = append(out, roots[i].record())
+	}
+	return out
+}
+
+// TracesHandler serves the tracer's recent root traces as JSON — mount it
+// at GET /debug/traces.
+func TracesHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		traces := t.Recent()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"count":    len(traces),
+			"started":  t.Started(),
+			"finished": t.Finished(),
+			"traces":   traces,
+		})
+	})
+}

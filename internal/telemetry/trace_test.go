@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestSpanTree(t *testing.T) {
+	tr := NewTracer(8)
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx1, root := StartSpan(ctx, "request")
+	if root == nil {
+		t.Fatal("no root span with tracer in context")
+	}
+	root.Annotate("path", "/x")
+	ctx2, child := StartSpan(ctx1, "generate")
+	_, grand := StartSpan(ctx2, "invoke")
+	grand.Fail(errors.New("boom"))
+	grand.End()
+	child.End()
+	root.End()
+
+	recent := tr.Recent()
+	if len(recent) != 1 {
+		t.Fatalf("recent traces = %d, want 1", len(recent))
+	}
+	rec := recent[0]
+	if rec.Name != "request" || len(rec.Children) != 1 {
+		t.Fatalf("root = %+v", rec)
+	}
+	if rec.Attrs[0] != (Attr{Key: "path", Value: "/x"}) {
+		t.Errorf("root attrs = %v", rec.Attrs)
+	}
+	gen := rec.Children[0]
+	if gen.Name != "generate" || len(gen.Children) != 1 {
+		t.Fatalf("child = %+v", gen)
+	}
+	inv := gen.Children[0]
+	if inv.Name != "invoke" || inv.Error != "boom" {
+		t.Errorf("grandchild = %+v", inv)
+	}
+	if inv.Trace != rec.Trace || gen.Trace != rec.Trace {
+		t.Error("trace IDs differ within one trace")
+	}
+	if tr.Started() != 3 || tr.Finished() != 3 {
+		t.Errorf("started/finished = %d/%d, want 3/3", tr.Started(), tr.Finished())
+	}
+}
+
+func TestTracerRingBounded(t *testing.T) {
+	tr := NewTracer(3)
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 10; i++ {
+		_, sp := StartSpan(ctx, fmt.Sprintf("op-%d", i))
+		sp.End()
+	}
+	recent := tr.Recent()
+	if len(recent) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(recent))
+	}
+	// Newest first.
+	for i, want := range []string{"op-9", "op-8", "op-7"} {
+		if recent[i].Name != want {
+			t.Errorf("recent[%d] = %s, want %s", i, recent[i].Name, want)
+		}
+	}
+}
+
+func TestSpanChildCap(t *testing.T) {
+	tr := NewTracer(2)
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "root")
+	for i := 0; i < maxSpanChildren+10; i++ {
+		_, c := StartSpan(ctx, "child")
+		c.End()
+	}
+	root.End()
+	rec := tr.Recent()[0]
+	if len(rec.Children) != maxSpanChildren {
+		t.Errorf("children = %d, want cap %d", len(rec.Children), maxSpanChildren)
+	}
+	if rec.Dropped != 10 {
+		t.Errorf("dropped = %d, want 10", rec.Dropped)
+	}
+}
+
+func TestNilSpanSafety(t *testing.T) {
+	ctx, sp := StartSpan(context.Background(), "nothing")
+	if sp != nil {
+		t.Fatal("span without tracer should be nil")
+	}
+	sp.Annotate("k", "v")
+	sp.Fail(errors.New("x"))
+	sp.End() // all no-ops, must not panic
+	if SpanFrom(ctx) != nil {
+		t.Error("nil span leaked into context")
+	}
+	var tr *Tracer
+	if tr.Recent() != nil || tr.Started() != 0 || tr.Finished() != 0 {
+		t.Error("nil tracer not inert")
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	tr := NewTracer(4)
+	_, sp := StartSpan(WithTracer(context.Background(), tr), "once")
+	sp.End()
+	sp.End()
+	if got := len(tr.Recent()); got != 1 {
+		t.Errorf("double End published %d traces, want 1", got)
+	}
+	if tr.Finished() != 1 {
+		t.Errorf("finished = %d, want 1", tr.Finished())
+	}
+}
+
+func TestConcurrentChildren(t *testing.T) {
+	tr := NewTracer(2)
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "fanout")
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, sp := StartSpan(ctx, "worker")
+			sp.Annotate("k", "v")
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := len(tr.Recent()[0].Children); got != 32 {
+		t.Errorf("children = %d, want 32", got)
+	}
+}
+
+func TestTracesHandler(t *testing.T) {
+	tr := NewTracer(4)
+	_, sp := StartSpan(WithTracer(context.Background(), tr), "served")
+	sp.End()
+	rec := httptest.NewRecorder()
+	TracesHandler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var body struct {
+		Count  int          `json:"count"`
+		Traces []SpanRecord `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Count != 1 || len(body.Traces) != 1 || body.Traces[0].Name != "served" {
+		t.Errorf("traces body = %+v", body)
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"dexa/internal/module"
 	"dexa/internal/registry"
+	"dexa/internal/telemetry"
 	"dexa/internal/typesys"
 )
 
@@ -176,8 +177,21 @@ func (e *RESTExecutor) Invoke(inputs map[string]typesys.Value) (map[string]types
 	return e.InvokeContext(context.Background(), inputs)
 }
 
-// InvokeContext performs the remote call, honouring ctx.
+// InvokeContext performs the remote call, honouring ctx. When a
+// telemetry tracer rides in ctx the round-trip is recorded as a
+// "transport.rest" span; transient transport faults mark it failed.
 func (e *RESTExecutor) InvokeContext(ctx context.Context, inputs map[string]typesys.Value) (map[string]typesys.Value, error) {
+	ctx, span := telemetry.StartSpan(ctx, "transport.rest")
+	span.Annotate("module", e.ModuleID)
+	outs, err := e.invokeContext(ctx, inputs)
+	if module.IsTransient(err) {
+		span.Fail(err)
+	}
+	span.End()
+	return outs, err
+}
+
+func (e *RESTExecutor) invokeContext(ctx context.Context, inputs map[string]typesys.Value) (map[string]typesys.Value, error) {
 	req := restInvokeRequest{Inputs: map[string]json.RawMessage{}}
 	for name, v := range inputs {
 		data, err := typesys.MarshalValue(v)

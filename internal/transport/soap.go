@@ -10,6 +10,7 @@ import (
 
 	"dexa/internal/module"
 	"dexa/internal/registry"
+	"dexa/internal/telemetry"
 	"dexa/internal/typesys"
 )
 
@@ -156,8 +157,21 @@ func (e *SOAPExecutor) Invoke(inputs map[string]typesys.Value) (map[string]types
 	return e.InvokeContext(context.Background(), inputs)
 }
 
-// InvokeContext performs the remote call, honouring ctx.
+// InvokeContext performs the remote call, honouring ctx. When a
+// telemetry tracer rides in ctx the round-trip is recorded as a
+// "transport.soap" span; transient transport faults mark it failed.
 func (e *SOAPExecutor) InvokeContext(ctx context.Context, inputs map[string]typesys.Value) (map[string]typesys.Value, error) {
+	ctx, span := telemetry.StartSpan(ctx, "transport.soap")
+	span.Annotate("module", e.ModuleID)
+	outs, err := e.invokeContext(ctx, inputs)
+	if module.IsTransient(err) {
+		span.Fail(err)
+	}
+	span.End()
+	return outs, err
+}
+
+func (e *SOAPExecutor) invokeContext(ctx context.Context, inputs map[string]typesys.Value) (map[string]typesys.Value, error) {
 	req := soapInvokeRequest{Module: e.ModuleID}
 	// Deterministic input order for stable wire traffic.
 	names := make([]string, 0, len(inputs))
