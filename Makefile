@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race race-store bench bench-smoke bench-overhead experiments
+.PHONY: ci vet build test race race-store race-match bench bench-smoke bench-overhead bench-match experiments
 
-ci: vet build race race-store bench-smoke bench-overhead
+ci: vet build race race-store race-match bench-smoke bench-overhead bench-match
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +26,20 @@ race-store:
 # compile or crash without paying for a full measurement run.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Catalog-index concurrency: feasibility reads racing Update/Remove
+# rebuilds, plus the matrix's sharded sweep, with more iterations than
+# the catch-all race run gives them.
+race-match:
+	$(GO) test -race -count=2 -run 'TestCatalogIndex|TestMatchMatrix|TestFindSubstitutes' ./internal/match/
+
+# Match-equality gate: the index-pruned substitute search must return
+# results byte-identical to the exhaustive search in both mapping modes,
+# exact-mode pruning must cover every mapping-infeasible candidate, and
+# the sharded indexed matrix must equal the sequential sweep. Gates
+# results, not timings — safe on any host.
+bench-match:
+	$(GO) run ./cmd/dexa-bench -match-only
 
 # Telemetry-overhead gate: generation with a live metrics registry must
 # stay within 5% of the no-op recorder. Remeasures once on failure to

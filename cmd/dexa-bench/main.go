@@ -10,6 +10,7 @@
 //	dexa-bench -o snapshot.json                     # explicit output path
 //	dexa-bench -baseline BENCH_2026-08-06.json      # regression check (30% tolerance)
 //	dexa-bench -baseline old.json -tolerance 0.15
+//	dexa-bench -match-only                          # match-equality gate only (no snapshot)
 //
 // Every measurement pairs a baseline implementation with its optimized
 // counterpart (sequential loop vs worker-pool sweep, cold vs warm
@@ -28,11 +29,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"runtime"
 	"testing"
 	"time"
 
 	"dexa/internal/core"
+	"dexa/internal/dataexample"
 	"dexa/internal/match"
 	"dexa/internal/module"
 	"dexa/internal/resilient"
@@ -76,6 +79,7 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional ns/op slowdown vs the baseline before failing")
 	overheadOnly := flag.Bool("overhead-only", false, "run only the telemetry-overhead gate (no snapshot); exit non-zero when instrumented generation exceeds the overhead tolerance")
 	overheadTol := flag.Float64("overhead-tolerance", 0.05, "allowed fractional slowdown of instrumented generation over the no-op recorder")
+	matchOnly := flag.Bool("match-only", false, "run only the match-equality gate (no snapshot); exit non-zero when the indexed search diverges from the exhaustive one or pruning falls short of the mapping-infeasible fraction")
 	flag.Parse()
 	if *out == "" {
 		*out = "BENCH_" + time.Now().Format("2006-01-02") + ".json"
@@ -107,6 +111,114 @@ func main() {
 		m := measure(name, f)
 		results = append(results, m)
 		byName[name] = m
+	}
+
+	// Shared fixtures for the match benches and the match-equality gate:
+	// one unavailable target plus the full live catalog.
+	entry, ok := u.Catalog.Get("getUniprotRecord")
+	if !ok {
+		fmt.Fprintln(os.Stderr, "getUniprotRecord missing from catalog")
+		os.Exit(1)
+	}
+	set, _, err := u.Gen.Generate(entry.Module)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	target := match.Unavailable{Signature: entry.Module, Examples: set}
+	available := u.Registry.Available()
+
+	// checkMatch is the correctness gate behind the pruning benchmarks: it
+	// verifies RESULTS, not timings. The indexed substitute search must be
+	// byte-identical to the exhaustive one in both mapping modes, the
+	// index must prune exactly the mapping-infeasible candidates in exact
+	// mode (and never a feasible one in either mode), and the indexed
+	// sharded matrix must produce the same cells as the plain sequential
+	// sweep.
+	checkMatch := func() bool {
+		failed := false
+		fail := func(format string, args ...any) {
+			failed = true
+			fmt.Fprintf(os.Stderr, "MATCH GATE FAILURE: "+format+"\n", args...)
+		}
+		ix := match.NewCatalogIndex(u.Ont, mods)
+		for _, mode := range []match.Mode{match.ModeExact, match.ModeRelaxed} {
+			seq := match.NewComparer(u.Ont, nil)
+			seq.Mode, seq.Workers = mode, 1
+			want, err := seq.FindSubstitutes(target, available)
+			if err != nil {
+				fail("%s exhaustive search: %v", mode, err)
+				continue
+			}
+			idx := match.NewComparer(u.Ont, nil)
+			idx.Mode, idx.Index = mode, ix
+			got, err := idx.FindSubstitutes(target, available)
+			if err != nil {
+				fail("%s indexed search: %v", mode, err)
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				fail("%s indexed search diverged from the exhaustive search", mode)
+			}
+			feas := ix.Feasibility(entry.Module, mode)
+			infeasible := 0
+			for _, m := range mods {
+				if m.ID == entry.Module.ID {
+					continue
+				}
+				if _, mappable := match.MapParameters(u.Ont, entry.Module, m, mode); !mappable {
+					infeasible++
+				}
+			}
+			if feas.Pruned > infeasible {
+				fail("%s pruned %d candidates but only %d are mapping-infeasible (unsound)", mode, feas.Pruned, infeasible)
+			}
+			if mode == match.ModeExact && feas.Pruned != infeasible {
+				fail("exact mode pruned %d of %d mapping-infeasible candidates (incomplete)", feas.Pruned, infeasible)
+			}
+			fmt.Fprintf(os.Stderr, "  match gate %-8s pruned %d/%d infeasible of %d candidates; results identical\n",
+				mode.String()+":", feas.Pruned, infeasible, feas.Candidates)
+		}
+		// Matrix: indexed + default-width sharding vs plain sequential.
+		sets := map[string]dataexample.Set{}
+		for _, m := range mods {
+			if s, _, err := u.Gen.Generate(m); err == nil && len(s) > 0 {
+				sets[m.ID] = s
+			}
+		}
+		src := func(id string) (dataexample.Set, bool) {
+			s, ok := sets[id]
+			return s, ok
+		}
+		plain := match.NewComparer(u.Ont, nil)
+		plain.Workers = 1
+		wantMM, err := plain.MatchMatrixFromSets(context.Background(), mods, src)
+		if err != nil {
+			fail("sequential matrix: %v", err)
+			return true
+		}
+		fast := match.NewComparer(u.Ont, nil)
+		fast.Index = ix
+		gotMM, err := fast.MatchMatrixFromSets(context.Background(), mods, src)
+		if err != nil {
+			fail("indexed matrix: %v", err)
+			return true
+		}
+		if !reflect.DeepEqual(gotMM.Cells, wantMM.Cells) ||
+			!reflect.DeepEqual(gotMM.Modules, wantMM.Modules) ||
+			!reflect.DeepEqual(gotMM.Missing, wantMM.Missing) {
+			fail("indexed sharded matrix diverged from the sequential sweep")
+		} else {
+			fmt.Fprintf(os.Stderr, "  match gate matrix:   %d cells identical; %d/%d pairs pruned\n",
+				len(gotMM.Cells), gotMM.Stats.Pruned, gotMM.Stats.Pairs)
+		}
+		return failed
+	}
+	if *matchOnly {
+		if checkMatch() {
+			os.Exit(1)
+		}
+		return
 	}
 
 	// Telemetry-overhead gate: the same generation loop through the full
@@ -221,24 +333,20 @@ func main() {
 		}
 	})
 
-	// Substitute search over the full catalog.
-	entry, ok := u.Catalog.Get("getUniprotRecord")
-	if !ok {
-		fmt.Fprintln(os.Stderr, "getUniprotRecord missing from catalog")
-		os.Exit(1)
-	}
-	set, _, err := u.Gen.Generate(entry.Module)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	target := match.Unavailable{Signature: entry.Module, Examples: set}
-	available := u.Registry.Available()
-	substitutes := func(workers int) func(b *testing.B) {
+	// Substitute search over the full catalog: plain sequential, parallel
+	// fan-out, and index-pruned at the sequential width (so the indexed
+	// pair isolates the pruning win from the concurrency win).
+	substitutes := func(workers int, indexed bool) func(b *testing.B) {
 		return func(b *testing.B) {
 			cmp := match.NewComparer(u.Ont, nil)
 			cmp.Workers = workers
+			if indexed {
+				// Built once: the index is amortized across searches exactly
+				// as the serving layer amortizes it across requests.
+				cmp.Index = match.NewCatalogIndex(u.Ont, mods)
+			}
 			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := cmp.FindSubstitutes(target, available); err != nil {
 					b.Fatal(err)
@@ -246,8 +354,77 @@ func main() {
 			}
 		}
 	}
-	run("find-substitutes/sequential", substitutes(1))
-	run("find-substitutes/parallel", substitutes(0))
+	run("find-substitutes/sequential", substitutes(1, false))
+	run("find-substitutes/parallel", substitutes(0, false))
+	run("find-substitutes/indexed", substitutes(1, true))
+
+	// Set alignment: canonical keys recomputed per comparison (the old
+	// compareSets path) vs interned once per set (KeyedSet). The target's
+	// own set against itself under the identity mapping is the densest
+	// case — every example aligns and every output pair agrees.
+	selfMapping, ok := match.MapParameters(u.Ont, entry.Module, entry.Module, match.ModeExact)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "self-mapping must exist")
+		os.Exit(1)
+	}
+	unkeyedRes := match.CompareExampleSets(entry.Module.ID, entry.Module.ID, set, set, selfMapping)
+	keyedSet := set.Keyed()
+	keyedRes := match.CompareKeyedSets(entry.Module.ID, entry.Module.ID, keyedSet, keyedSet, selfMapping)
+	if !reflect.DeepEqual(unkeyedRes, keyedRes) {
+		fmt.Fprintln(os.Stderr, "MATCH GATE FAILURE: keyed alignment diverged from unkeyed alignment")
+		os.Exit(1)
+	}
+	run("compare-sets/unkeyed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if r := match.CompareExampleSets(entry.Module.ID, entry.Module.ID, set, set, selfMapping); r.Verdict != match.Equivalent {
+				b.Fatal("unexpected verdict")
+			}
+		}
+	})
+	run("compare-sets/keyed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if r := match.CompareKeyedSets(entry.Module.ID, entry.Module.ID, keyedSet, keyedSet, selfMapping); r.Verdict != match.Equivalent {
+				b.Fatal("unexpected verdict")
+			}
+		}
+	})
+
+	// All-pairs matrix over the full catalog: the cold sweep tries a
+	// mapping for every ordered pair; the warm sweep is the steady state
+	// the serving layer reaches — signature index built once, pruning the
+	// infeasible bulk before any alignment.
+	matrixSets := map[string]dataexample.Set{}
+	for _, m := range mods {
+		if s, _, err := u.Gen.Generate(m); err == nil && len(s) > 0 {
+			matrixSets[m.ID] = s
+		}
+	}
+	matrixSrc := func(id string) (dataexample.Set, bool) {
+		s, ok := matrixSets[id]
+		return s, ok
+	}
+	run("match-matrix/cold", func(b *testing.B) {
+		cmp := match.NewComparer(u.Ont, nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cmp.MatchMatrixFromSets(context.Background(), mods, matrixSrc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	run("match-matrix/warm", func(b *testing.B) {
+		cmp := match.NewComparer(u.Ont, nil)
+		cmp.Index = match.NewCatalogIndex(u.Ont, mods)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cmp.MatchMatrixFromSets(context.Background(), mods, matrixSrc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 
 	// Ontology reasoning: cold (cache rebuilt each call, the pre-cache
 	// behaviour) vs warm (memoized steady state).
@@ -352,6 +529,7 @@ func main() {
 		})
 	}
 
+	matchFailed := checkMatch()
 	overheadFailed := checkOverhead(true)
 	// Informational: full request-style tracing on top of live metrics.
 	// Spans in the per-combination hot loop make this measurably slower;
@@ -378,6 +556,9 @@ func main() {
 			speedup("catalog sweep fan-out", "generate-catalog/sequential", "generate-catalog/sweep"),
 			speedup("catalog sweep memoized", "generate-catalog/sequential", "generate-catalog/memoized"),
 			speedup("substitute search fan-out", "find-substitutes/sequential", "find-substitutes/parallel"),
+			speedup("substitute search index pruning", "find-substitutes/sequential", "find-substitutes/indexed"),
+			speedup("set alignment key interning", "compare-sets/unkeyed", "compare-sets/keyed"),
+			speedup("match matrix index pruning", "match-matrix/cold", "match-matrix/warm"),
 			speedup("ontology reachability cache", "ontology-partitions/cold", "ontology-partitions/warm"),
 			speedup("homology search sharding", "homology-search/sequential", "homology-search/sharded"),
 			speedup("store read vs write", "store-write/put", "store-read/get"),
@@ -402,7 +583,7 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "snapshot written to %s\n", *out)
 
-	failed := overheadFailed
+	failed := overheadFailed || matchFailed
 	if *baseline != "" {
 		failed = checkRegression(rep, *baseline, *tolerance) || failed
 	}

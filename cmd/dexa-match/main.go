@@ -7,13 +7,18 @@
 //	dexa-match -a getUniprotRecord -b getFastaSequence   # compare two modules
 //	dexa-match -substitutes getUniprotRecord             # rank substitutes
 //	dexa-match -a sequenceToFasta -b seqExport -relaxed  # relaxed mapping
+//	dexa-match -all                                      # all-pairs verdict matrix (JSON)
+//	dexa-match -all -o matrix.json                       # ... written to a file
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"dexa/internal/dataexample"
 	"dexa/internal/match"
 	"dexa/internal/simulation"
 )
@@ -22,6 +27,8 @@ func main() {
 	a := flag.String("a", "", "first module ID")
 	b := flag.String("b", "", "second module ID")
 	substitutes := flag.String("substitutes", "", "find substitutes for this module ID")
+	all := flag.Bool("all", false, "materialise the all-pairs match matrix as JSON")
+	out := flag.String("o", "", "write -all output to this file instead of stdout")
 	relaxed := flag.Bool("relaxed", false, "use relaxed (superconcept) parameter mapping")
 	flag.Parse()
 
@@ -42,6 +49,47 @@ func main() {
 	}
 
 	switch {
+	case *all:
+		mods := u.Registry.Modules()
+		cmp.Index = match.NewCatalogIndex(u.Ont, mods)
+		// Annotate every module up front; modules whose generation fails
+		// (unavailable executors, say) surface in the matrix's Missing list.
+		sets := make(map[string]dataexample.Set, len(mods))
+		for _, m := range mods {
+			set, _, err := u.Gen.Generate(m)
+			if err != nil || len(set) == 0 {
+				fmt.Fprintf(os.Stderr, "skipping %s: no examples (%v)\n", m.ID, err)
+				continue
+			}
+			sets[m.ID] = set
+		}
+		mm, err := cmp.MatchMatrixFromSets(context.Background(), mods, func(id string) (dataexample.Set, bool) {
+			s, ok := sets[id]
+			return s, ok
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(mm); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		st := mm.Stats
+		fmt.Fprintf(os.Stderr, "matrix: %d modules, %d pairs — %d pruned by index, %d compared, %d mirrored; %d equivalent, %d overlapping, %d disjoint\n",
+			st.Modules, st.Pairs, st.Pruned, st.Compared, st.Mirrored, st.Equivalent, st.Overlapping, st.Disjoint)
 	case *substitutes != "":
 		target := lookup(*substitutes)
 		set, _, err := u.Gen.Generate(target.Module)
@@ -79,7 +127,7 @@ func main() {
 			fmt.Printf("  output %s -> %s\n", from, to)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "usage: dexa-match -a <id> -b <id> | -substitutes <id>")
+		fmt.Fprintln(os.Stderr, "usage: dexa-match -a <id> -b <id> | -substitutes <id> | -all [-o file]")
 		os.Exit(2)
 	}
 }

@@ -13,6 +13,7 @@
 //	curl http://127.0.0.1:8080/api/modules/getUniprotRecord/examples
 //	curl -X POST http://127.0.0.1:8080/api/modules/transcribe/generate
 //	curl http://127.0.0.1:8080/api/modules/getUniprotRecord/substitutes
+//	curl http://127.0.0.1:8080/api/matches
 //	curl http://127.0.0.1:8080/api/stats
 //	curl http://127.0.0.1:8080/rest/modules
 //	curl http://127.0.0.1:8080/metrics
@@ -109,11 +110,15 @@ func main() {
 
 	source := store.NewSource(st, u.Gen)
 	serve.InstrumentSource(metrics, source)
+	cmp := match.NewComparer(u.Ont, source)
+	cmp.Index = match.NewCatalogIndex(u.Ont, u.Registry.Modules())
+	cmp.Index.Instrument(metrics)
+	cmp.Metrics = metrics
 	api := &serve.Server{
 		Registry:  u.Registry,
 		Store:     st,
 		Source:    source,
-		Comparer:  match.NewComparer(u.Ont, source),
+		Comparer:  cmp,
 		Telemetry: metrics,
 		Tracer:    tracer,
 		Logger:    logger,

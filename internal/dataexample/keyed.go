@@ -1,0 +1,73 @@
+package dataexample
+
+// KeyedSet is a Set with its canonical keys interned: the InputKey,
+// OutputKey and PartitionKey of every example are computed exactly once,
+// at construction, instead of being rebuilt string-by-string on every
+// comparison. Aligning two sets (map∆ of §6) probes the precomputed
+// input-key index, so a catalog-scale matching sweep — which visits the
+// same example set once per candidate pair — pays the canonicalisation
+// cost once per set, not once per pair.
+//
+// A KeyedSet is an immutable snapshot: it copies nothing, so the caller
+// must not mutate the underlying examples after keying. It is safe for
+// concurrent readers.
+type KeyedSet struct {
+	examples Set
+	inKeys   []string
+	outKeys  []string
+	partKeys []string
+	// byInput maps an input key to the index of its first occurrence,
+	// mirroring Set.ByInputKey's drop-later-duplicates contract.
+	byInput map[string]int
+}
+
+// Keyed interns the set's canonical keys. Duplicate input keys keep the
+// first occurrence in the alignment index, exactly as ByInputKey does.
+func (s Set) Keyed() *KeyedSet {
+	k := &KeyedSet{
+		examples: s,
+		inKeys:   make([]string, len(s)),
+		outKeys:  make([]string, len(s)),
+		partKeys: make([]string, len(s)),
+		byInput:  make(map[string]int, len(s)),
+	}
+	for i, e := range s {
+		k.inKeys[i] = e.InputKey()
+		k.outKeys[i] = e.OutputKey()
+		k.partKeys[i] = e.PartitionKey()
+		if _, dup := k.byInput[k.inKeys[i]]; !dup {
+			k.byInput[k.inKeys[i]] = i
+		}
+	}
+	return k
+}
+
+// Len returns the number of examples.
+func (k *KeyedSet) Len() int { return len(k.examples) }
+
+// Examples returns the underlying set (not a copy; treat as read-only).
+func (k *KeyedSet) Examples() Set { return k.examples }
+
+// Example returns the i-th example.
+func (k *KeyedSet) Example(i int) Example { return k.examples[i] }
+
+// InputKey returns the interned canonical input key of the i-th example.
+func (k *KeyedSet) InputKey(i int) string { return k.inKeys[i] }
+
+// OutputKey returns the interned canonical output key of the i-th example.
+func (k *KeyedSet) OutputKey(i int) string { return k.outKeys[i] }
+
+// PartitionKey returns the interned partition key of the i-th example.
+func (k *KeyedSet) PartitionKey(i int) string { return k.partKeys[i] }
+
+// IndexByInput returns the index of the first example whose input key
+// equals key.
+func (k *KeyedSet) IndexByInput(key string) (int, bool) {
+	i, ok := k.byInput[key]
+	return i, ok
+}
+
+// UniqueInputs reports whether every example has a distinct input key —
+// the precondition under which set alignment is symmetric (a bijective
+// mapping aligns the same pairs in either direction).
+func (k *KeyedSet) UniqueInputs() bool { return len(k.byInput) == len(k.examples) }

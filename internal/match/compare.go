@@ -7,6 +7,7 @@ import (
 	"dexa/internal/dataexample"
 	"dexa/internal/module"
 	"dexa/internal/ontology"
+	"dexa/internal/telemetry"
 	"dexa/internal/typesys"
 )
 
@@ -102,6 +103,15 @@ type Comparer struct {
 	// Workers bounds FindSubstitutes' candidate fan-out; <= 0 selects
 	// GOMAXPROCS. The ranking is deterministic at any width.
 	Workers int
+	// Index, when set, prunes substitute searches and matrix builds to
+	// the mapping-feasible candidates before any example comparison. The
+	// results are byte-identical to the exhaustive search (see
+	// CatalogIndex); the caller owns keeping the index in sync with
+	// signature changes via Update/Remove.
+	Index *CatalogIndex
+	// Metrics, when set, records search/comparison/prune counters and the
+	// matrix cell-latency histogram.
+	Metrics *telemetry.Registry
 }
 
 // NewComparer builds a Comparer with exact mapping.
@@ -137,13 +147,25 @@ func (c *Comparer) Compare(target, candidate *module.Module) (Result, error) {
 	return compareSets(target.ID, candidate.ID, tSet, cSet, mapping), nil
 }
 
-// compareSets aligns the two example sets through the mapping (map∆ of §6:
-// pairs with identical input values) and contrasts outputs.
+// CompareExampleSets aligns two raw example sets through the mapping
+// (map∆ of §6: pairs with identical input values) and contrasts outputs,
+// recomputing canonical keys on the fly. Prefer CompareKeyedSets when the
+// same sets participate in many comparisons — a catalog matrix, say.
+func CompareExampleSets(targetID, candidateID string, tSet, cSet dataexample.Set, mapping Mapping) Result {
+	return compareSets(targetID, candidateID, tSet, cSet, mapping)
+}
+
+// compareSets is the unkeyed alignment. Duplicate candidate input keys
+// keep the first occurrence, matching Set.ByInputKey (generation never
+// produces duplicates; the tie-break only matters for hand-built sets).
 func compareSets(targetID, candidateID string, tSet, cSet dataexample.Set, mapping Mapping) Result {
 	res := Result{TargetID: targetID, CandidateID: candidateID, Mapping: mapping, AgreeingKeys: map[string]bool{}}
 	cIdx := make(map[string]dataexample.Example, len(cSet))
 	for _, e := range cSet {
-		cIdx[e.InputKey()] = e
+		k := e.InputKey()
+		if _, dup := cIdx[k]; !dup {
+			cIdx[k] = e
+		}
 	}
 	for _, te := range tSet {
 		translated := translateInputs(te.Inputs, mapping.Inputs)
@@ -162,6 +184,53 @@ func compareSets(targetID, candidateID string, tSet, cSet dataexample.Set, mappi
 	return res
 }
 
+// CompareKeyedSets is CompareExampleSets over key-interned sets: the
+// alignment probes the candidate's precomputed input-key index, and under
+// an identity mapping (parameter names coincide, the common case inside a
+// single catalog) the target's interned keys are reused outright instead
+// of re-canonicalising translated assignments. Equal interned output keys
+// prove agreement without touching the value maps; unequal keys fall back
+// to the per-parameter check, which also covers non-identity mappings.
+func CompareKeyedSets(targetID, candidateID string, tSet, cSet *dataexample.KeyedSet, mapping Mapping) Result {
+	res := Result{TargetID: targetID, CandidateID: candidateID, Mapping: mapping, AgreeingKeys: map[string]bool{}}
+	idIn := identityMapping(mapping.Inputs)
+	idOut := identityMapping(mapping.Outputs)
+	for i := 0; i < tSet.Len(); i++ {
+		var key string
+		if idIn {
+			key = tSet.InputKey(i)
+		} else {
+			te := tSet.Example(i)
+			key = (dataexample.Example{Inputs: translateInputs(te.Inputs, mapping.Inputs)}).InputKey()
+		}
+		j, ok := cSet.IndexByInput(key)
+		if !ok {
+			continue
+		}
+		res.Compared++
+		agree := idOut && tSet.OutputKey(i) == cSet.OutputKey(j)
+		if !agree {
+			agree = outputsAgree(tSet.Example(i).Outputs, cSet.Example(j).Outputs, mapping.Outputs)
+		}
+		if agree {
+			res.Agreeing++
+			res.AgreeingKeys[tSet.InputKey(i)] = true
+		}
+	}
+	res.Verdict = verdictFor(res.Compared, res.Agreeing)
+	return res
+}
+
+// identityMapping reports whether every parameter maps to its own name.
+func identityMapping(m map[string]string) bool {
+	for from, to := range m {
+		if from != to {
+			return false
+		}
+	}
+	return true
+}
+
 // CompareAgainstExamples compares a candidate module against the recorded
 // data examples of a (possibly unavailable) target module: the candidate is
 // invoked on each example's inputs and its outputs contrasted with the
@@ -169,12 +238,26 @@ func compareSets(targetID, candidateID string, tSet, cSet dataexample.Set, mappi
 // cannot be invoked, but its examples survive in provenance. The target's
 // parameter signature must be supplied since the module itself is gone.
 func (c *Comparer) CompareAgainstExamples(targetSig *module.Module, targetSet dataexample.Set, candidate *module.Module) (Result, error) {
+	return c.compareAgainstExamples(targetSig, targetSet, candidate, func(i int) string {
+		return targetSet[i].InputKey()
+	})
+}
+
+// compareAgainstKeyedExamples is CompareAgainstExamples with the target's
+// canonical keys interned once per search instead of re-derived per
+// agreeing pair per candidate — FindSubstitutes keys the target set once
+// and reuses it across the whole candidate field.
+func (c *Comparer) compareAgainstKeyedExamples(targetSig *module.Module, keyed *dataexample.KeyedSet, candidate *module.Module) (Result, error) {
+	return c.compareAgainstExamples(targetSig, keyed.Examples(), candidate, keyed.InputKey)
+}
+
+func (c *Comparer) compareAgainstExamples(targetSig *module.Module, targetSet dataexample.Set, candidate *module.Module, inputKeyAt func(int) string) (Result, error) {
 	mapping, ok := MapParameters(c.Ont, targetSig, candidate, c.Mode)
 	if !ok {
 		return Result{TargetID: targetSig.ID, CandidateID: candidate.ID, Verdict: Incomparable}, nil
 	}
 	res := Result{TargetID: targetSig.ID, CandidateID: candidate.ID, Mapping: mapping, AgreeingKeys: map[string]bool{}}
-	for _, te := range targetSet {
+	for i, te := range targetSet {
 		inputs := translateInputs(te.Inputs, mapping.Inputs)
 		outs, err := candidate.Invoke(inputs)
 		res.Compared++
@@ -186,7 +269,7 @@ func (c *Comparer) CompareAgainstExamples(targetSig *module.Module, targetSet da
 		}
 		if outputsAgree(te.Outputs, outs, mapping.Outputs) {
 			res.Agreeing++
-			res.AgreeingKeys[te.InputKey()] = true
+			res.AgreeingKeys[inputKeyAt(i)] = true
 		}
 	}
 	res.Verdict = verdictFor(res.Compared, res.Agreeing)

@@ -1,0 +1,421 @@
+package match
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dexa/internal/module"
+	"dexa/internal/ontology"
+	"dexa/internal/telemetry"
+)
+
+// CatalogIndex is the signature-level pruning index for catalog-scale
+// matching. It precomputes, per module, the multiset of parameter
+// fingerprints (structural type + semantic concept, per side) and an
+// inverted index from fingerprint → posting bitset of modules carrying at
+// least one such parameter. A substitute search intersects the postings
+// of the target's parameters to find the mapping-feasible candidates and
+// runs the expensive example comparison only on those; everything else is
+// pruned without invoking a single module.
+//
+// Soundness: a candidate is pruned only when MapParameters provably
+// cannot succeed, so pruned searches return byte-identical results to the
+// exhaustive ones (a pruned candidate would have come back Incomparable,
+// which never ranks and never skips). In ModeExact the feasibility test
+// is in fact a complete decision procedure: the mapping constraint graph
+// decomposes into complete bipartite blocks per fingerprint class, so
+// Hall's condition reduces to per-class counting. In ModeRelaxed (where
+// subsumption edges make the bipartite structure general) the test is a
+// necessary-condition overapproximation and MapParameters re-verifies
+// the survivors.
+//
+// Relaxed-mode subsumption is resolved through the ontology's bitset
+// closure: a candidate input concept is compatible when it subsumes the
+// target's, i.e. when it lies in {target} ∪ AncestorsView(target).
+//
+// Invalidation: the index snapshots module signatures at build time.
+// Whenever a module's parameter signature changes (or a module is added
+// or retired from the catalog), call Update/Remove — each rebuilds the
+// postings under the write lock and bumps Generation, which serving-layer
+// caches fold into their state keys. Example-set content changes do NOT
+// touch this index (it never looks at examples); they invalidate the
+// match-matrix and substitute caches through the store's content hashes.
+//
+// Concurrency: Feasibility queries take a read lock and may run
+// concurrently with each other and with ontology reasoning; Update and
+// Remove take the write lock.
+type CatalogIndex struct {
+	ont *ontology.Ontology
+
+	mu   sync.RWMutex
+	sigs map[string]*moduleSig // module ID -> signature snapshot
+	// Dense numbering for the posting bitsets, rebuilt on every mutation.
+	ids      []string       // sorted module IDs
+	rank     map[string]int // module ID -> dense index
+	words    int            // bitset words per posting
+	postings map[string][]uint64
+
+	generation atomic.Uint64
+	builds     atomic.Uint64
+	lastBuild  atomic.Int64 // nanoseconds of the last rebuild
+
+	// buildSeconds is set by Instrument; nil-safe when never instrumented.
+	buildSeconds *telemetry.Histogram
+}
+
+// paramClass is one fingerprint equivalence class of a module side.
+type paramClass struct {
+	strct   string // structural type, canonical string form
+	concept string // semantic concept ID ("" when unannotated)
+	count   int    // parameters in this class
+	required int   // non-optional members (meaningful for inputs)
+}
+
+// moduleSig is the per-module signature snapshot the index matches on.
+type moduleSig struct {
+	id         string
+	numInputs  int
+	numRequired int
+	numOutputs int
+	inClasses  map[string]paramClass // fingerprint -> class
+	outClasses map[string]paramClass
+	inStruct   map[string]int // struct string -> input count
+	reqStruct  map[string]int // struct string -> required input count
+	outStruct  map[string]int // struct string -> output count
+}
+
+func fingerprint(strct, concept string) string { return strct + "\x00" + concept }
+
+func signatureOf(m *module.Module) *moduleSig {
+	sig := &moduleSig{
+		id:         m.ID,
+		numInputs:  len(m.Inputs),
+		numOutputs: len(m.Outputs),
+		inClasses:  make(map[string]paramClass, len(m.Inputs)),
+		outClasses: make(map[string]paramClass, len(m.Outputs)),
+		inStruct:   make(map[string]int, len(m.Inputs)),
+		reqStruct:  make(map[string]int, len(m.Inputs)),
+		outStruct:  make(map[string]int, len(m.Outputs)),
+	}
+	for _, p := range m.Inputs {
+		s := p.Struct.String()
+		fp := fingerprint(s, p.Semantic)
+		c := sig.inClasses[fp]
+		c.strct, c.concept = s, p.Semantic
+		c.count++
+		if !p.Optional {
+			c.required++
+			sig.numRequired++
+			sig.reqStruct[s]++
+		}
+		sig.inClasses[fp] = c
+		sig.inStruct[s]++
+	}
+	for _, p := range m.Outputs {
+		s := p.Struct.String()
+		fp := fingerprint(s, p.Semantic)
+		c := sig.outClasses[fp]
+		c.strct, c.concept = s, p.Semantic
+		c.count++
+		sig.outClasses[fp] = c
+		sig.outStruct[s]++
+	}
+	return sig
+}
+
+// NewCatalogIndex builds the index over the given modules' signatures.
+func NewCatalogIndex(ont *ontology.Ontology, mods []*module.Module) *CatalogIndex {
+	ix := &CatalogIndex{ont: ont, sigs: make(map[string]*moduleSig, len(mods))}
+	for _, m := range mods {
+		ix.sigs[m.ID] = signatureOf(m)
+	}
+	ix.rebuildLocked()
+	return ix
+}
+
+// Update adds or replaces the module's signature snapshot and rebuilds
+// the postings. Call it whenever a module's parameter signature changes.
+func (ix *CatalogIndex) Update(m *module.Module) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.sigs[m.ID] = signatureOf(m)
+	ix.rebuildLocked()
+}
+
+// Remove drops a module from the index (no-op for unknown IDs).
+func (ix *CatalogIndex) Remove(id string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, ok := ix.sigs[id]; !ok {
+		return
+	}
+	delete(ix.sigs, id)
+	ix.rebuildLocked()
+}
+
+// rebuildLocked recomputes the dense numbering and the inverted postings.
+// Caller holds the write lock (or has exclusive access during New).
+func (ix *CatalogIndex) rebuildLocked() {
+	start := time.Now()
+	n := len(ix.sigs)
+	ix.ids = make([]string, 0, n)
+	for id := range ix.sigs {
+		ix.ids = append(ix.ids, id)
+	}
+	sort.Strings(ix.ids)
+	ix.rank = make(map[string]int, n)
+	for i, id := range ix.ids {
+		ix.rank[id] = i
+	}
+	ix.words = (n + 63) / 64
+	// Postings are keyed "i\x00fp" / "o\x00fp" so one map serves both sides.
+	ix.postings = make(map[string][]uint64)
+	set := func(key string, i int) {
+		bits, ok := ix.postings[key]
+		if !ok {
+			bits = make([]uint64, ix.words)
+			ix.postings[key] = bits
+		}
+		bits[i/64] |= 1 << (i % 64)
+	}
+	for i, id := range ix.ids {
+		sig := ix.sigs[id]
+		for fp := range sig.inClasses {
+			set("i\x00"+fp, i)
+		}
+		for fp := range sig.outClasses {
+			set("o\x00"+fp, i)
+		}
+	}
+	elapsed := time.Since(start)
+	ix.lastBuild.Store(int64(elapsed))
+	ix.builds.Add(1)
+	ix.generation.Add(1)
+	ix.buildSeconds.Observe(elapsed.Seconds())
+}
+
+// Generation returns a counter that increments on every rebuild; caches
+// keyed on catalog state fold it into their keys.
+func (ix *CatalogIndex) Generation() uint64 { return ix.generation.Load() }
+
+// Len returns the number of indexed modules.
+func (ix *CatalogIndex) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.sigs)
+}
+
+// IDs returns the indexed module IDs, sorted.
+func (ix *CatalogIndex) IDs() []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]string, len(ix.ids))
+	copy(out, ix.ids)
+	return out
+}
+
+// Instrument exports the index's build telemetry on the registry:
+// dexa_match_index_size, dexa_match_index_generation and
+// dexa_match_index_builds_total as read-on-scrape collectors, plus the
+// dexa_match_index_build_seconds histogram observed on every subsequent
+// rebuild.
+func (ix *CatalogIndex) Instrument(r *telemetry.Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("dexa_match_index_size", "Modules in the catalog signature index.",
+		func() float64 { return float64(ix.Len()) })
+	r.GaugeFunc("dexa_match_index_generation", "Signature-index generation (bumps on every rebuild).",
+		func() float64 { return float64(ix.Generation()) })
+	r.CounterFunc("dexa_match_index_builds_total", "Signature-index builds and rebuilds.",
+		func() float64 { return float64(ix.builds.Load()) })
+	r.GaugeFunc("dexa_match_index_last_build_seconds", "Duration of the most recent index rebuild.",
+		func() float64 { return time.Duration(ix.lastBuild.Load()).Seconds() })
+	ix.mu.Lock()
+	ix.buildSeconds = r.Histogram("dexa_match_index_build_seconds", "Signature-index rebuild latency.", nil)
+	ix.mu.Unlock()
+}
+
+// Feasibility is the result of one pruning query: which indexed modules
+// could possibly admit a parameter mapping from the target. It is an
+// immutable snapshot — concurrent index mutations do not affect it.
+type Feasibility struct {
+	feasible map[string]bool // indexed module ID -> mapping-feasible
+	// Candidates is how many indexed modules were considered and Pruned
+	// how many of them were rejected.
+	Candidates int
+	Pruned     int
+}
+
+// Prunes reports whether the candidate is known to be mapping-infeasible.
+// Unindexed modules are never pruned — the comparison falls through to
+// MapParameters as before.
+func (f *Feasibility) Prunes(id string) bool {
+	if f == nil {
+		return false
+	}
+	v, ok := f.feasible[id]
+	return ok && !v
+}
+
+// Feasibility computes the mapping-feasible candidate set for the target
+// signature under the given mode.
+func (ix *CatalogIndex) Feasibility(target *module.Module, mode Mode) *Feasibility {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	n := len(ix.ids)
+	out := &Feasibility{feasible: make(map[string]bool, n)}
+	live := make([]uint64, ix.words)
+	for i := 0; i < n; i++ {
+		live[i/64] |= 1 << (i % 64)
+	}
+	scratch := make([]uint64, ix.words)
+
+	// Posting intersection: every target parameter must find at least one
+	// compatible parameter on the candidate's matching side.
+	intersect := func(side string, p module.Parameter, concepts []string) bool {
+		for w := range scratch {
+			scratch[w] = 0
+		}
+		s := p.Struct.String()
+		for _, concept := range concepts {
+			if bits, ok := ix.postings[side+"\x00"+fingerprint(s, concept)]; ok {
+				for w := range scratch {
+					scratch[w] |= bits[w]
+				}
+			}
+		}
+		empty := true
+		for w := range live {
+			live[w] &= scratch[w]
+			if live[w] != 0 {
+				empty = false
+			}
+		}
+		return !empty
+	}
+	alive := true
+	for _, p := range target.Inputs {
+		if !alive {
+			break
+		}
+		alive = intersect("i", p, ix.compatibleInputConcepts(p.Semantic, mode))
+	}
+	for _, p := range target.Outputs {
+		if !alive {
+			break
+		}
+		alive = intersect("o", p, ix.compatibleOutputConcepts(p.Semantic, mode))
+	}
+
+	tSig := signatureOf(target)
+	for i, id := range ix.ids {
+		if id == target.ID {
+			continue // never its own substitute; callers skip it anyway
+		}
+		out.Candidates++
+		ok := live[i/64]&(1<<(i%64)) != 0
+		if ok {
+			ok = countFeasible(tSig, ix.sigs[id], mode)
+		}
+		out.feasible[id] = ok
+		if !ok {
+			out.Pruned++
+		}
+	}
+	return out
+}
+
+// compatibleInputConcepts returns the candidate input concepts a target
+// input annotated with sem can map onto: in ModeExact exactly sem; in
+// ModeRelaxed every concept subsuming sem, i.e. {sem} ∪ ancestors(sem)
+// from the bitset closure (empty for a concept the ontology does not
+// know — Subsumes never holds for those, not even reflexively).
+func (ix *CatalogIndex) compatibleInputConcepts(sem string, mode Mode) []string {
+	if mode == ModeExact {
+		return []string{sem}
+	}
+	if !ix.ont.Has(sem) {
+		return nil
+	}
+	anc := ix.ont.AncestorsView(sem)
+	out := make([]string, 0, len(anc)+1)
+	out = append(out, sem)
+	out = append(out, anc...)
+	return out
+}
+
+// compatibleOutputConcepts is the output-side analogue: relaxed accepts
+// subsumption in either direction, so the compatible set is
+// {sem} ∪ ancestors(sem) ∪ descendants(sem).
+func (ix *CatalogIndex) compatibleOutputConcepts(sem string, mode Mode) []string {
+	if mode == ModeExact {
+		return []string{sem}
+	}
+	if !ix.ont.Has(sem) {
+		return nil
+	}
+	anc := ix.ont.AncestorsView(sem)
+	desc := ix.ont.DescendantsView(sem)
+	out := make([]string, 0, len(anc)+len(desc)+1)
+	out = append(out, sem)
+	out = append(out, anc...)
+	out = append(out, desc...)
+	return out
+}
+
+// countFeasible applies the counting conditions of the bijection on top
+// of the per-parameter existence already established by the posting
+// intersection. All conditions are necessary in both modes; in ModeExact
+// the fingerprint-class conditions are also sufficient (Hall's condition
+// on complete bipartite blocks), making exact-mode pruning complete.
+func countFeasible(t, c *moduleSig, mode Mode) bool {
+	// Every target input maps to a distinct candidate input; candidate
+	// inputs left unmapped must be optional. Outputs map 1:1 exactly.
+	if t.numInputs > c.numInputs || c.numRequired > t.numInputs {
+		return false
+	}
+	if t.numOutputs != c.numOutputs {
+		return false
+	}
+	// Structural types must be equal on every mapped pair in both modes.
+	for s, cnt := range t.inStruct {
+		if c.inStruct[s] < cnt {
+			return false
+		}
+	}
+	for s, cnt := range c.reqStruct {
+		if t.inStruct[s] < cnt {
+			return false
+		}
+	}
+	for s, cnt := range t.outStruct {
+		if c.outStruct[s] != cnt {
+			return false
+		}
+	}
+	if mode != ModeExact {
+		return true
+	}
+	// Exact mode: fingerprint classes are matched only within themselves,
+	// so per-class counting decides the bijection outright.
+	for fp, tc := range t.inClasses {
+		if c.inClasses[fp].count < tc.count {
+			return false
+		}
+	}
+	for fp, cc := range c.inClasses {
+		if cc.required > t.inClasses[fp].count {
+			return false
+		}
+	}
+	for fp, tc := range t.outClasses {
+		if c.outClasses[fp].count != tc.count {
+			return false
+		}
+	}
+	return true
+}

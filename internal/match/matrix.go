@@ -1,0 +1,305 @@
+package match
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dexa/internal/dataexample"
+	"dexa/internal/module"
+	"dexa/internal/telemetry"
+)
+
+// SetSource yields the example set annotating one module for a matrix
+// build: a generation cache, the persistent store, or any map. Returning
+// false marks the module as unannotated; it is listed in Missing and
+// excluded from the pair sweep.
+type SetSource func(id string) (set dataexample.Set, ok bool)
+
+// MatrixCell is one non-incomparable verdict of the all-pairs sweep.
+type MatrixCell struct {
+	Target    string  `json:"target"`
+	Candidate string  `json:"candidate"`
+	Verdict   string  `json:"verdict"`
+	Score     float64 `json:"score"`
+	Compared  int     `json:"compared"`
+	Agreeing  int     `json:"agreeing"`
+}
+
+// MatrixStats summarises the sweep: how many ordered pairs the catalog
+// induces, how many the signature index pruned without any example
+// comparison, how many alignments actually ran, and how many cells were
+// filled by symmetry instead of recomputation.
+type MatrixStats struct {
+	Modules      int `json:"modules"`
+	Pairs        int `json:"pairs"`
+	Pruned       int `json:"pruned"`
+	Compared     int `json:"compared"`
+	Mirrored     int `json:"mirrored"`
+	Incomparable int `json:"incomparable"`
+	Equivalent   int `json:"equivalent"`
+	Overlapping  int `json:"overlapping"`
+	Disjoint     int `json:"disjoint"`
+}
+
+// MatchMatrix is the materialised catalog-wide verdict map: every ordered
+// module pair whose behaviours are comparable at all, in deterministic
+// (target, candidate) order. Incomparable pairs — the overwhelming
+// majority at catalog scale — are represented implicitly: any pair
+// absent from Cells is Incomparable.
+type MatchMatrix struct {
+	Mode    string       `json:"mode"`
+	Modules []string     `json:"modules"`
+	Missing []string     `json:"missing,omitempty"`
+	Cells   []MatrixCell `json:"cells"`
+	Stats   MatrixStats  `json:"stats"`
+}
+
+// matrixSets is the resolved input of a matrix build.
+type matrixSets struct {
+	ids   []string // modules with example sets, sorted
+	sigs  map[string]*module.Module
+	keyed map[string]*dataexample.KeyedSet
+}
+
+// MatchMatrixFromSets materialises the all-pairs verdict map over the
+// given modules, reading each module's example set from sets (the store,
+// a generation cache, …). The sweep is pure set alignment — no module is
+// invoked — so it runs over stored annotations of retired modules just
+// as well as fresh ones.
+//
+// Determinism and dedup: cells are ordered by (target, candidate) module
+// ID regardless of worker scheduling. In ModeExact, a symmetric pair
+// whose reverse mapping is exactly the inverse of the forward one (and
+// whose sets have unique input keys) is computed once and mirrored —
+// alignment through a bijective translation is symmetric in Compared and
+// Agreeing — while any ambiguous or asymmetric pair is computed in both
+// directions, keeping the matrix byte-identical to the naive ordered
+// double loop. ModeRelaxed is inherently directional and always computes
+// both directions.
+//
+// When the Comparer carries a CatalogIndex, each target's feasibility
+// query prunes the infeasible candidate row before any alignment.
+func (c *Comparer) MatchMatrixFromSets(ctx context.Context, mods []*module.Module, sets SetSource) (*MatchMatrix, error) {
+	_, span := telemetry.StartSpan(ctx, "match.matrix")
+	defer span.End()
+	met := newMatchMetrics(c.Metrics)
+
+	in := matrixSets{sigs: map[string]*module.Module{}, keyed: map[string]*dataexample.KeyedSet{}}
+	var missing []string
+	seen := map[string]bool{}
+	for _, m := range mods {
+		if m == nil || seen[m.ID] {
+			continue
+		}
+		seen[m.ID] = true
+		set, ok := sets(m.ID)
+		if !ok {
+			missing = append(missing, m.ID)
+			continue
+		}
+		in.sigs[m.ID] = m
+		in.keyed[m.ID] = set.Keyed()
+		in.ids = append(in.ids, m.ID)
+	}
+	sort.Strings(in.ids)
+	sort.Strings(missing)
+	n := len(in.ids)
+
+	mm := &MatchMatrix{
+		Mode:    c.Mode.String(),
+		Modules: in.ids,
+		Missing: missing,
+		Cells:   []MatrixCell{},
+		Stats:   MatrixStats{Modules: n, Pairs: n * (n - 1)},
+	}
+	if n < 2 {
+		return mm, ctx.Err()
+	}
+
+	// Feasibility rows, one per target, shared by both directions.
+	feas := make([]*Feasibility, n)
+	if c.Index != nil {
+		for i, id := range in.ids {
+			feas[i] = c.Index.Feasibility(in.sigs[id], c.Mode)
+		}
+	}
+
+	// Work items: unordered pairs a<b; each item settles both directions.
+	type item struct{ a, b int }
+	items := make([]item, 0, n*(n-1)/2)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			items = append(items, item{a, b})
+		}
+	}
+	type cellRes struct {
+		verdict  Verdict
+		score    float64
+		compared int
+		agreeing int
+		pruned   bool
+		mirrored bool
+		aligned  bool // an example alignment actually ran for this direction
+	}
+	results := make([][2]cellRes, len(items)) // [0] = a→b, [1] = b→a
+
+	// direction computes one ordered cell, optionally reusing a known
+	// mapping instead of re-deriving it.
+	direction := func(ti, ci int, mapping Mapping, haveMapping bool) cellRes {
+		tid, cid := in.ids[ti], in.ids[ci]
+		if feas[ti].Prunes(cid) {
+			return cellRes{verdict: Incomparable, pruned: true}
+		}
+		if !haveMapping {
+			var ok bool
+			mapping, ok = MapParameters(c.Ont, in.sigs[tid], in.sigs[cid], c.Mode)
+			if !ok {
+				return cellRes{verdict: Incomparable}
+			}
+		}
+		start := time.Now()
+		res := CompareKeyedSets(tid, cid, in.keyed[tid], in.keyed[cid], mapping)
+		met.matrixCells.Observe(time.Since(start).Seconds())
+		return cellRes{verdict: res.Verdict, score: res.Score(), compared: res.Compared, agreeing: res.Agreeing, aligned: true}
+	}
+	work := func(it item) [2]cellRes {
+		a, b := it.a, it.b
+		var out [2]cellRes
+		if c.Mode == ModeExact {
+			fwd, fok := c.mapUnlessPruned(in, feas, a, b)
+			rev, rok := c.mapUnlessPruned(in, feas, b, a)
+			if fok && rok && mappingsInverse(fwd, rev) &&
+				in.keyed[in.ids[a]].UniqueInputs() && in.keyed[in.ids[b]].UniqueInputs() {
+				out[0] = direction(a, b, fwd, true)
+				out[1] = out[0]
+				out[1].aligned = false
+				out[1].mirrored = true
+				return out
+			}
+		}
+		out[0] = direction(a, b, Mapping{}, false)
+		out[1] = direction(b, a, Mapping{}, false)
+		return out
+	}
+
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		for k, it := range items {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			results[k] = work(it)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					k := int(next.Add(1)) - 1
+					if k >= len(items) || ctx.Err() != nil {
+						return
+					}
+					results[k] = work(items[k])
+				}
+			}()
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Deterministic assembly: results indexed back into a dense grid,
+	// then emitted row-major by (target, candidate).
+	grid := make([]cellRes, n*n)
+	for k, it := range items {
+		grid[it.a*n+it.b] = results[k][0]
+		grid[it.b*n+it.a] = results[k][1]
+	}
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			cr := grid[a*n+b]
+			switch {
+			case cr.pruned:
+				mm.Stats.Pruned++
+			case cr.aligned:
+				mm.Stats.Compared++
+			case cr.mirrored:
+				mm.Stats.Mirrored++
+			}
+			switch cr.verdict {
+			case Incomparable:
+				mm.Stats.Incomparable++
+				continue
+			case Equivalent:
+				mm.Stats.Equivalent++
+			case Overlapping:
+				mm.Stats.Overlapping++
+			case Disjoint:
+				mm.Stats.Disjoint++
+			}
+			mm.Cells = append(mm.Cells, MatrixCell{
+				Target:    in.ids[a],
+				Candidate: in.ids[b],
+				Verdict:   cr.verdict.String(),
+				Score:     cr.score,
+				Compared:  cr.compared,
+				Agreeing:  cr.agreeing,
+			})
+		}
+	}
+	met.comparisons.Add(uint64(mm.Stats.Compared))
+	met.pruned.Add(uint64(mm.Stats.Pruned))
+	span.Annotate("modules", strconv.Itoa(n))
+	span.Annotate("pairs", strconv.Itoa(mm.Stats.Pairs))
+	span.Annotate("pruned", strconv.Itoa(mm.Stats.Pruned))
+	span.Annotate("compared", strconv.Itoa(mm.Stats.Compared))
+	span.Annotate("mirrored", strconv.Itoa(mm.Stats.Mirrored))
+	return mm, nil
+}
+
+// mapUnlessPruned resolves the mapping for the ordered direction unless
+// the index already pruned it.
+func (c *Comparer) mapUnlessPruned(in matrixSets, feas []*Feasibility, ti, ci int) (Mapping, bool) {
+	if feas[ti].Prunes(in.ids[ci]) {
+		return Mapping{}, false
+	}
+	return MapParameters(c.Ont, in.sigs[in.ids[ti]], in.sigs[in.ids[ci]], c.Mode)
+}
+
+// mappingsInverse reports whether b is exactly the inverse of a on both
+// sides — the condition under which an exact-mode alignment may be
+// mirrored instead of recomputed.
+func mappingsInverse(a, b Mapping) bool {
+	if len(a.Inputs) != len(b.Inputs) || len(a.Outputs) != len(b.Outputs) {
+		return false
+	}
+	for from, to := range a.Inputs {
+		if got, ok := b.Inputs[to]; !ok || got != from {
+			return false
+		}
+	}
+	for from, to := range a.Outputs {
+		if got, ok := b.Outputs[to]; !ok || got != from {
+			return false
+		}
+	}
+	return true
+}

@@ -1,6 +1,7 @@
 package match
 
 import (
+	"context"
 	"fmt"
 
 	"dexa/internal/dataexample"
@@ -23,6 +24,12 @@ type StoredExamples interface {
 // ExampleSource as usual (which may itself be store-backed, in which
 // case the whole search runs against persisted annotations).
 func (c *Comparer) FindSubstitutesStored(st StoredExamples, target *module.Module, available []*module.Module) (Substitutes, error) {
+	return c.FindSubstitutesStoredContext(context.Background(), st, target, available)
+}
+
+// FindSubstitutesStoredContext is FindSubstitutesStored with a context,
+// so request-scoped tracing reaches the search span.
+func (c *Comparer) FindSubstitutesStoredContext(ctx context.Context, st StoredExamples, target *module.Module, available []*module.Module) (Substitutes, error) {
 	if target == nil {
 		return Substitutes{}, fmt.Errorf("match: nil target module")
 	}
@@ -30,5 +37,5 @@ func (c *Comparer) FindSubstitutesStored(st StoredExamples, target *module.Modul
 	if !ok {
 		return Substitutes{}, fmt.Errorf("match: no stored examples for module %s", target.ID)
 	}
-	return c.FindSubstitutes(Unavailable{Signature: target, Examples: set}, available)
+	return c.FindSubstitutesContext(ctx, Unavailable{Signature: target, Examples: set}, available)
 }

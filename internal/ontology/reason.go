@@ -71,6 +71,32 @@ func (o *Ontology) Ancestors(id string) []string {
 	return copyOf(r.ancIDs[i])
 }
 
+// AncestorsView is Ancestors without the defensive copy: it returns the
+// cached closure slice itself, sorted, valid until the next mutation.
+// Callers MUST treat the result as read-only — it is shared with every
+// other caller and with the cache. Index builders that walk the closure
+// of every concept use this to avoid one allocation per concept; all
+// other callers should prefer Ancestors.
+func (o *Ontology) AncestorsView(id string) []string {
+	r := o.reach()
+	i, ok := r.index[id]
+	if !ok {
+		return nil
+	}
+	return r.ancIDs[i]
+}
+
+// DescendantsView is Descendants without the defensive copy; the same
+// read-only contract as AncestorsView applies.
+func (o *Ontology) DescendantsView(id string) []string {
+	r := o.reach()
+	i, ok := r.index[id]
+	if !ok {
+		return nil
+	}
+	return r.descIDs[i]
+}
+
 // Depth returns the length of the shortest parent chain from id to any
 // root, or -1 for an unknown concept. Roots have depth 0.
 func (o *Ontology) Depth(id string) int {

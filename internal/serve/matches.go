@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"dexa/internal/dataexample"
+	"dexa/internal/match"
+	"dexa/internal/module"
+)
+
+// matchesResponse wraps the matrix with the cache state it was computed
+// under, so clients can correlate a body with its ETag.
+type matchesResponse struct {
+	State  string             `json:"state"`
+	Matrix *match.MatchMatrix `json:"matrix"`
+}
+
+// matrixCache memoizes the last all-pairs matrix build together with the
+// catalog state it reflects. The state key folds every registered
+// module's stored-set content hash (and the signature index generation,
+// when one is wired), so any annotation change — or an index
+// Update/Remove after a signature change — produces a different key and
+// forces a rebuild; an unchanged catalog serves the cached matrix and
+// lets If-None-Match answer 304 without recomputation.
+type matrixCache struct {
+	mu     sync.Mutex
+	state  string
+	matrix *match.MatchMatrix
+}
+
+// subsEntry is one warmed substitute search: the full (unlimited)
+// ranking plus the state key it was computed under. The limit query
+// parameter is applied per request, so every limit shares one entry.
+type subsEntry struct {
+	state string
+	hash  string
+	subs  match.Substitutes
+}
+
+// subsCache memoizes substitute searches per target module.
+type subsCache struct {
+	mu      sync.Mutex
+	entries map[string]subsEntry
+}
+
+// matrixStateKey fingerprints everything the matrix depends on: the
+// mapping mode, the index generation (signature churn), and each
+// registered module's stored-annotation content hash. Modules without a
+// stored set contribute their absence, so annotating one later changes
+// the key.
+func (s *Server) matrixStateKey() string {
+	h := sha256.New()
+	io.WriteString(h, s.Comparer.Mode.String())
+	h.Write([]byte{0})
+	if s.Comparer.Index != nil {
+		fmt.Fprintf(h, "g%d", s.Comparer.Index.Generation())
+		h.Write([]byte{0})
+	}
+	for _, id := range s.Registry.IDs() {
+		hash, _ := s.Store.Hash(id)
+		io.WriteString(h, id)
+		h.Write([]byte{0})
+		io.WriteString(h, hash)
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+// substitutesStateKey fingerprints a substitute search for one target:
+// the mode, index generation, the target's stored-set hash, and the set
+// of currently-available candidate modules (candidates are invoked live,
+// so their availability — not their stored annotations — is what the
+// result depends on).
+func (s *Server) substitutesStateKey(targetID, targetHash string) string {
+	h := sha256.New()
+	io.WriteString(h, s.Comparer.Mode.String())
+	h.Write([]byte{0})
+	if s.Comparer.Index != nil {
+		fmt.Fprintf(h, "g%d", s.Comparer.Index.Generation())
+		h.Write([]byte{0})
+	}
+	io.WriteString(h, targetID)
+	h.Write([]byte{0})
+	io.WriteString(h, targetHash)
+	h.Write([]byte{0})
+	avail := s.Registry.Available()
+	ids := make([]string, len(avail))
+	for i, m := range avail {
+		ids[i] = m.ID
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		io.WriteString(h, id)
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+// handleMatches serves the catalog-wide verdict matrix over the stored
+// annotations. The ETag is the catalog state key: If-None-Match answers
+// 304 before any work, a matching cached build answers without
+// recomputation, and only a genuinely changed catalog pays for a sweep.
+func (s *Server) handleMatches(w http.ResponseWriter, r *http.Request) {
+	if s.Comparer == nil {
+		writeError(w, http.StatusNotImplemented, "matching is not enabled on this server")
+		return
+	}
+	state := s.matrixStateKey()
+	etag := `"` + state + `"`
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "no-cache")
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+
+	s.matrix.mu.Lock()
+	defer s.matrix.mu.Unlock()
+	if s.matrix.matrix == nil || s.matrix.state != state {
+		storedSet := func(id string) (dataexample.Set, bool) {
+			set, _, ok := s.Store.Get(id)
+			return set, ok
+		}
+		mm, err := s.Comparer.MatchMatrixFromSets(r.Context(), s.Registry.Modules(), storedSet)
+		if err != nil {
+			writeError(w, http.StatusBadGateway, "building match matrix: %v", err)
+			return
+		}
+		s.matrix.state = state
+		s.matrix.matrix = mm
+	}
+	writeJSON(w, http.StatusOK, matchesResponse{State: s.matrix.state, Matrix: s.matrix.matrix})
+}
+
+// warmedSubstitutes returns the cached substitute search for the target
+// when the catalog state still matches, running and caching the search
+// otherwise. Concurrent requests serialise on the cache lock, so
+// identical searches arriving together collapse onto one run (the
+// second request hits the entry the first one just warmed).
+func (s *Server) warmedSubstitutes(r *http.Request, target *module.Module, targetHash, state string) (match.Substitutes, error) {
+	s.subs.mu.Lock()
+	defer s.subs.mu.Unlock()
+	if e, ok := s.subs.entries[target.ID]; ok && e.state == state {
+		return e.subs, nil
+	}
+	subs, err := s.Comparer.FindSubstitutesStoredContext(r.Context(), s.Store, target, s.Registry.Available())
+	if err != nil {
+		return match.Substitutes{}, err
+	}
+	if s.subs.entries == nil {
+		s.subs.entries = map[string]subsEntry{}
+	}
+	s.subs.entries[target.ID] = subsEntry{state: state, hash: targetHash, subs: subs}
+	return subs, nil
+}

@@ -14,7 +14,11 @@
 //	                                     persisted before the first response leaves
 //	POST /modules/{id}/generate?refresh=1 — force regeneration (content-hash no-op if stable)
 //	GET  /modules/{id}/substitutes     — rank live substitutes for a module from its
-//	                                     stored examples (the workflow-repair query)
+//	                                     stored examples (the workflow-repair query);
+//	                                     warmed per target and ETag'd on the catalog state
+//	GET  /matches                      — the catalog-wide all-pairs verdict matrix over
+//	                                     stored annotations; ETag = catalog state key,
+//	                                     unchanged catalogs serve the cached build
 //	GET  /stats                        — store and generation counters
 //
 // All responses are JSON. Errors use {"error": "..."} with a matching
@@ -58,6 +62,12 @@ type Server struct {
 	Telemetry *telemetry.Registry
 	Tracer    *telemetry.Tracer
 	Logger    *slog.Logger
+
+	// matrix and subs memoize the expensive matching queries; both are
+	// keyed on catalog state so they invalidate themselves when stored
+	// annotations, module availability or the signature index change.
+	matrix matrixCache
+	subs   subsCache
 }
 
 // route is one API endpoint: the mux pattern, its method (for the 405
@@ -75,6 +85,7 @@ func (s *Server) routes() []route {
 		{http.MethodGet, "/modules/{id}/examples", s.handleExamples},
 		{http.MethodPost, "/modules/{id}/generate", s.handleGenerate},
 		{http.MethodGet, "/modules/{id}/substitutes", s.handleSubstitutes},
+		{http.MethodGet, "/matches", s.handleMatches},
 		{http.MethodGet, "/stats", s.handleStats},
 	}
 }
@@ -379,7 +390,15 @@ func (s *Server) handleSubstitutes(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	subs, err := s.Comparer.FindSubstitutesStored(s.Store, e.Module, s.Registry.Available())
+	state := s.substitutesStateKey(e.Module.ID, hash)
+	etag := `"` + state + `"`
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "no-cache")
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	subs, err := s.warmedSubstitutes(r, e.Module, hash, state)
 	if err != nil {
 		writeError(w, http.StatusBadGateway, "substitute search for %s: %v", e.Module.ID, err)
 		return
