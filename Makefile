@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race race-store race-match bench bench-smoke bench-overhead bench-match experiments
+.PHONY: ci vet build test race race-store race-match race-lifecycle bench bench-smoke bench-overhead bench-match experiments
 
-ci: vet build race race-store race-match bench-smoke bench-overhead bench-match
+ci: vet build race race-store race-match race-lifecycle bench-smoke bench-overhead bench-match
 
 vet:
 	$(GO) vet ./...
@@ -32,6 +32,13 @@ bench-smoke:
 # the catch-all race run gives them.
 race-match:
 	$(GO) test -race -count=2 -run 'TestCatalogIndex|TestMatchMatrix|TestFindSubstitutes' ./internal/match/
+
+# Lifecycle concurrency: concurrent probe sweeps, /watch long-pollers
+# racing log appends, and repair-queue approvals racing enqueues, with
+# more iterations than the catch-all race run gives them.
+race-lifecycle:
+	$(GO) test -race -count=2 ./internal/lifecycle/
+	$(GO) test -race -count=2 -run 'TestLifecycle|TestWatch|TestRepairs|TestSubstitutesCache|TestServePreStop' ./internal/serve/
 
 # Match-equality gate: the index-pruned substitute search must return
 # results byte-identical to the exhaustive search in both mapping modes,

@@ -36,6 +36,7 @@ import (
 
 	"dexa/internal/core"
 	"dexa/internal/dataexample"
+	"dexa/internal/lifecycle"
 	"dexa/internal/match"
 	"dexa/internal/module"
 	"dexa/internal/resilient"
@@ -529,6 +530,96 @@ func main() {
 		})
 	}
 
+	// Lifecycle probe sweep: the manager re-probing every catalog module
+	// against its stored annotations under the fake clock. Cold pays what
+	// the service pays at boot — Track's phase spread plus the per-module
+	// resilient wrapper built on first probe; warm is the steady state a
+	// running dexa-serve pays every interval: advance one period and
+	// re-invoke each module on its stored example inputs.
+	probeClock := resilient.NewFakeClock()
+	probeStore, err := store.Open("", store.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer probeStore.Close()
+	probeSource := store.NewSource(probeStore, u.Gen)
+	probeIDs := make([]string, 0, len(mods))
+	for _, m := range mods {
+		if _, _, err := probeSource.Generate(m); err == nil {
+			probeIDs = append(probeIDs, m.ID)
+		}
+	}
+	probeManager := func() *lifecycle.Manager {
+		lg, err := lifecycle.OpenLog("")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		mgr, err := lifecycle.NewManager(lifecycle.Config{
+			Interval: time.Minute, Jitter: -1,
+			Policy: resilient.Policy{MaxAttempts: 1},
+		}, lifecycle.Deps{
+			Registry: u.Registry, Examples: probeStore, Log: lg, Clock: probeClock,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		mgr.Track(probeIDs...)
+		return mgr
+	}
+	probeSweep := func(mgr *lifecycle.Manager) error {
+		probeClock.Advance(time.Minute)
+		res, err := mgr.RunDue(context.Background())
+		if err != nil {
+			return err
+		}
+		if len(res) != len(probeIDs) {
+			return fmt.Errorf("sweep probed %d of %d modules", len(res), len(probeIDs))
+		}
+		return nil
+	}
+	// Preflight: a healthy catalog must stay healthy under probing, or the
+	// benchmark would be timing state transitions instead of sweeps (and a
+	// dead module's backoff would starve later sweeps).
+	{
+		mgr := probeManager()
+		probeClock.Advance(time.Minute)
+		res, err := mgr.RunDue(context.Background())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, r := range res {
+			if r.Outcome != lifecycle.ProbeHealthy {
+				fmt.Fprintf(os.Stderr, "probe preflight: %s is %s (%s)\n", r.Module, r.Outcome, r.Err)
+				os.Exit(1)
+			}
+		}
+	}
+	run("lifecycle-probe-sweep/cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := probeSweep(probeManager()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	run("lifecycle-probe-sweep/warm", func(b *testing.B) {
+		mgr := probeManager()
+		if err := probeSweep(mgr); err != nil { // build every wrapper before the timer
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := probeSweep(mgr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
 	matchFailed := checkMatch()
 	overheadFailed := checkOverhead(true)
 	// Informational: full request-style tracing on top of live metrics.
@@ -562,6 +653,7 @@ func main() {
 			speedup("ontology reachability cache", "ontology-partitions/cold", "ontology-partitions/warm"),
 			speedup("homology search sharding", "homology-search/sequential", "homology-search/sharded"),
 			speedup("store read vs write", "store-write/put", "store-read/get"),
+			speedup("lifecycle probe sweep warm-up", "lifecycle-probe-sweep/cold", "lifecycle-probe-sweep/warm"),
 			speedup("telemetry overhead (≥0.95 = within budget)", "telemetry-overhead/noop", "telemetry-overhead/instrumented"),
 		},
 	}

@@ -7,13 +7,25 @@
 //	dexa-repair                 # repair the whole repository, print summary
 //	dexa-repair -workflow myexp-1600   # detail one workflow's repair
 //	dexa-repair -limit 50       # only process the first N workflows
+//
+// Queue mode operates on the repair-proposal queue a running dexa-serve
+// (with -probe-interval) persists beside its store — list what the live
+// lifecycle proposed and approve or reject by proposal ID:
+//
+//	dexa-repair -queue ./dexa-store              # list every proposal
+//	dexa-repair -queue ./dexa-store -state pending
+//	dexa-repair -queue ./dexa-store -approve rq-000001
+//	dexa-repair -queue ./dexa-store -reject rq-000002
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"time"
 
+	"dexa/internal/lifecycle"
 	"dexa/internal/match"
 	"dexa/internal/simulation"
 	"dexa/internal/workflow"
@@ -22,7 +34,19 @@ import (
 func main() {
 	one := flag.String("workflow", "", "repair a single repository workflow by ID")
 	limit := flag.Int("limit", 0, "process at most this many workflows (0 = all)")
+	queueDir := flag.String("queue", "", "operate on the repair queue in this store directory instead of the offline repository")
+	state := flag.String("state", "", "with -queue: list only proposals in this state (pending, approved, rejected)")
+	approve := flag.String("approve", "", "with -queue: approve this proposal ID")
+	reject := flag.String("reject", "", "with -queue: reject this proposal ID")
 	flag.Parse()
+
+	if *queueDir != "" {
+		if err := runQueue(*queueDir, *state, *approve, *reject); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	fmt.Fprintln(os.Stderr, "building experimental universe and legacy repository...")
 	u := simulation.NewUniverse()
@@ -82,4 +106,55 @@ func main() {
 	fmt.Printf("fully repaired:         %d\n", counts[workflow.FullyRepaired])
 	fmt.Printf("partially repaired:     %d\n", counts[workflow.PartiallyRepaired])
 	fmt.Printf("unrepaired:             %d\n", counts[workflow.Unrepaired])
+}
+
+// runQueue lists or resolves proposals in a persisted repair queue.
+func runQueue(dir, state, approve, reject string) error {
+	if approve != "" && reject != "" {
+		return fmt.Errorf("use -approve or -reject, not both")
+	}
+	q, err := lifecycle.OpenQueue(filepath.Join(dir, lifecycle.QueueFile))
+	if err != nil {
+		return err
+	}
+	defer q.Close()
+
+	if id := approve + reject; id != "" {
+		p, err := q.Resolve(id, approve != "", time.Now().UTC())
+		if err != nil {
+			return err
+		}
+		if err := q.Flush(); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %s\n", p.ID, p.State)
+		return nil
+	}
+
+	props := q.List(lifecycle.ProposalState(state))
+	for _, p := range props {
+		target := p.Module
+		if p.WorkflowID != "" {
+			target = fmt.Sprintf("%s (workflow %s, %s)", p.Module, p.WorkflowID, p.Status)
+		}
+		fmt.Printf("%s  [%s]  %s\n", p.ID, p.State, target)
+		for _, r := range p.Replacements {
+			kind := "equivalent"
+			if r.Contextual {
+				kind = "contextual overlap"
+			}
+			fmt.Printf("    step %s: %s -> %s (%s)\n", r.StepID, r.OldModuleID, r.NewModuleID, kind)
+		}
+		for _, s := range p.Substitutes {
+			fmt.Printf("    substitute %s (%s)\n", s.ModuleID, s.Verdict)
+		}
+		for step, reason := range p.Unrepairable {
+			fmt.Printf("    step %s: unrepairable: %s\n", step, reason)
+		}
+		if p.Reason != "" {
+			fmt.Printf("    %s\n", p.Reason)
+		}
+	}
+	fmt.Printf("%d proposals (%d pending)\n", len(props), q.Pending())
+	return nil
 }

@@ -25,6 +25,16 @@
 // X-Request-ID (client-supplied IDs are echoed), and -access-log
 // controls the per-request structured log line on stderr.
 //
+// The live catalog lifecycle (-probe-interval, 0 = off) continuously
+// re-probes annotated modules against their stored data examples through
+// the resilient executor stack, quarantines modules that drift or die,
+// retires persistent failures (enqueueing repair proposals for human
+// approval — see dexa-repair -queue), and re-admits recovered modules
+// after probation. It adds /api/lifecycle, /api/events, /api/watch (a
+// long-poll change feed with ETag resume cursors) and /api/repairs; with
+// -store the transition log and repair queue persist beside the example
+// store and survive restarts.
+//
 // Without -store the service runs on a memory-only store: everything
 // works, nothing survives the process. SIGINT/SIGTERM shut the server
 // down gracefully — the listener closes, in-flight requests drain for up
@@ -48,10 +58,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"dexa/internal/faults"
+	"dexa/internal/lifecycle"
 	"dexa/internal/match"
 	"dexa/internal/serve"
 	"dexa/internal/simulation"
@@ -72,6 +84,12 @@ func main() {
 	latency := flag.Duration("chaos-latency", 250*time.Millisecond, "injected latency per spike")
 	flapEvery := flag.Int("chaos-flap-every", 0, "serve this many requests per module, then go dark (0 disables flapping)")
 	flapFor := flag.Int("chaos-flap-for", 0, "answer 503 for this many requests per dark window")
+	probeInterval := flag.Duration("probe-interval", 0, "base lifecycle probe period per module (0 disables the live catalog lifecycle)")
+	probeExamples := flag.Int("probe-examples", 4, "stored examples re-invoked per probe")
+	probeQuarantine := flag.Int("probe-quarantine-after", 2, "consecutive bad probes before quarantine")
+	probeRetire := flag.Int("probe-retire-after", 2, "additional bad probes in quarantine before retirement")
+	probeProbation := flag.Int("probe-probation", 2, "consecutive healthy probes before re-admission")
+	probeSeed := flag.Int64("probe-seed", 1, "seed for deterministic probe phases and jitter")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	accessLog := flag.Bool("access-log", true, "emit one structured log line per API request")
 	traceCap := flag.Int("trace-capacity", telemetry.DefaultTraceCapacity, "recent request traces kept for /debug/traces")
@@ -114,6 +132,10 @@ func main() {
 	cmp.Index = match.NewCatalogIndex(u.Ont, u.Registry.Modules())
 	cmp.Index.Instrument(metrics)
 	cmp.Metrics = metrics
+	// Availability flips (manual retirement, health auto-retire, lifecycle
+	// quarantine) must bump the index generation, or cached /substitutes
+	// responses keep ranking retired modules.
+	serve.SyncIndex(u.Registry, cmp.Index)
 	api := &serve.Server{
 		Registry:  u.Registry,
 		Store:     st,
@@ -122,6 +144,70 @@ func main() {
 		Telemetry: metrics,
 		Tracer:    tracer,
 		Logger:    logger,
+	}
+
+	// Live catalog lifecycle: background probes, quarantine/recovery, and
+	// the repair queue. Journals live beside the store when one is on disk.
+	var preStop []func() error
+	if *probeInterval > 0 {
+		eventPath, queuePath := "", ""
+		if *storeDir != "" {
+			eventPath = filepath.Join(*storeDir, lifecycle.EventLogFile)
+			queuePath = filepath.Join(*storeDir, lifecycle.QueueFile)
+		}
+		lcLog, err := lifecycle.OpenLog(eventPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		queue, err := lifecycle.OpenQueue(queuePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		queue.Instrument(metrics)
+		planner := &lifecycle.Planner{Comparer: cmp, Store: st, Registry: u.Registry}
+		mgr, err := lifecycle.NewManager(lifecycle.Config{
+			Interval:        *probeInterval,
+			MaxExamples:     *probeExamples,
+			QuarantineAfter: *probeQuarantine,
+			RetireAfter:     *probeRetire,
+			Probation:       *probeProbation,
+			Seed:            *probeSeed,
+		}, lifecycle.Deps{
+			Registry: u.Registry,
+			Examples: st,
+			Index:    cmp.Index,
+			Log:      lcLog,
+			Queue:    queue,
+			Planner:  planner,
+			Metrics:  metrics,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tracked := mgr.TrackAll()
+		api.Lifecycle = mgr
+		probeCtx, stopProbes := context.WithCancel(context.Background())
+		probeDone := make(chan error, 1)
+		go func() { probeDone <- mgr.Run(probeCtx) }()
+		// Shutdown ordering: stop the probe workers first, then flush the
+		// lifecycle journals, and only afterwards (inside serve.Serve) the
+		// example store — no transition event is lost on SIGTERM.
+		preStop = append(preStop, func() error {
+			stopProbes()
+			err := <-probeDone
+			if ferr := lcLog.Close(); err == nil {
+				err = ferr
+			}
+			if qerr := queue.Close(); err == nil {
+				err = qerr
+			}
+			return err
+		})
+		fmt.Fprintf(os.Stderr, "lifecycle: probing %d annotated modules every %v (events resume at seq %d, %d repair proposals pending)\n",
+			tracked, *probeInterval, lcLog.Seq(), queue.Pending())
 	}
 
 	restHandler := http.Handler(transport.RESTHandler(u.Registry))
@@ -165,7 +251,7 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := serve.Serve(ctx, &http.Server{Handler: mux}, ln, *grace, st); err != nil {
+	if err := serve.Serve(ctx, &http.Server{Handler: mux}, ln, *grace, st, preStop...); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

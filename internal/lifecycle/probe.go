@@ -1,0 +1,97 @@
+package lifecycle
+
+import (
+	"context"
+	"fmt"
+
+	"dexa/internal/dataexample"
+	"dexa/internal/module"
+	"dexa/internal/typesys"
+)
+
+// ProbeResult is the evidence one probe gathered about one module.
+type ProbeResult struct {
+	Module  string       `json:"module"`
+	Outcome ProbeOutcome `json:"outcome"`
+	// Compared counts examples on which the module produced an answer
+	// (including execution errors); Agreeing counts how many of those
+	// reproduced the stored output.
+	Compared int `json:"compared"`
+	Agreeing int `json:"agreeing"`
+	// Faults counts invocations that failed transiently even after the
+	// resilient layer's retries.
+	Faults int `json:"faults"`
+	// Err is the last transport error observed, for dead probes.
+	Err string `json:"err,omitempty"`
+}
+
+// probe re-invokes mod (through exec, the resilient wrapper) on up to
+// maxExamples of its stored data examples and classifies the answers.
+// The rules mirror the matching semantics of §4: an execution error on an
+// input that previously produced an output is a behavioural change
+// (drift), not a transport fault; only calls whose every attempt faulted
+// transiently count as the provider being unreachable.
+func probe(ctx context.Context, moduleID string, exec module.Executor, set dataexample.Set, maxExamples int) ProbeResult {
+	res := ProbeResult{Module: moduleID}
+	if len(set) == 0 {
+		res.Outcome = ProbeSkipped
+		return res
+	}
+	n := len(set)
+	if maxExamples > 0 && n > maxExamples {
+		n = maxExamples
+	}
+	if exec == nil {
+		// Nothing bound locally: indistinguishable from a vanished provider.
+		res.Outcome = ProbeDead
+		res.Faults = n
+		res.Err = fmt.Sprintf("module %s: no executor bound", moduleID)
+		return res
+	}
+	for _, ex := range set[:n] {
+		outs, err := module.InvokeWithContext(ctx, exec, ex.Inputs)
+		if err != nil {
+			if module.IsTransient(err) {
+				res.Faults++
+				res.Err = err.Error()
+				continue
+			}
+			// The module answered: it now rejects an input combination it
+			// used to accept. That is a behavioural disagreement.
+			res.Compared++
+			continue
+		}
+		res.Compared++
+		if outputsEqual(ex.Outputs, outs) {
+			res.Agreeing++
+		}
+	}
+	switch {
+	case res.Compared == 0 && res.Faults > 0:
+		res.Outcome = ProbeDead
+	case res.Agreeing == res.Compared && res.Faults == 0:
+		res.Outcome = ProbeHealthy
+	case res.Agreeing == res.Compared:
+		// Some calls faulted but every completed one agreed: a transient
+		// blip the resilient layer already fought through — not decay.
+		res.Outcome = ProbeHealthy
+	default:
+		res.Outcome = ProbeDrifted
+	}
+	return res
+}
+
+// outputsEqual reports whether the observed outputs reproduce the stored
+// ones exactly: same parameter names, equal values.
+func outputsEqual(want, got map[string]typesys.Value) bool {
+	if len(want) != len(got) {
+		return false
+	}
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok || !w.Equal(g) {
+			return false
+		}
+	}
+	return true
+}

@@ -38,16 +38,22 @@ func (r *Registry) SetFailureThreshold(n int) {
 // deregistration.
 func (r *Registry) RecordSuccess(id string) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	e, ok := r.entries[id]
 	if !ok {
+		r.mu.Unlock()
 		return
 	}
 	e.Health.ConsecutiveFailures = 0
 	e.Health.TotalSuccesses++
+	revived := false
 	if e.Health.AutoRetired {
 		e.Health.AutoRetired = false
 		e.Available = true
+		revived = true
+	}
+	r.mu.Unlock()
+	if revived {
+		r.notifyAvailability(id, true)
 	}
 }
 
@@ -56,9 +62,9 @@ func (r *Registry) RecordSuccess(id string) {
 // it. Modules retired by hand (SetAvailable/RetireProvider) stay retired.
 func (r *Registry) RecordFailure(id string, err error) (retired bool) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	e, ok := r.entries[id]
 	if !ok {
+		r.mu.Unlock()
 		return false
 	}
 	e.Health.ConsecutiveFailures++
@@ -69,8 +75,11 @@ func (r *Registry) RecordFailure(id string, err error) (retired bool) {
 	if r.failureThreshold > 0 && e.Available && e.Health.ConsecutiveFailures >= r.failureThreshold {
 		e.Available = false
 		e.Health.AutoRetired = true
+		r.mu.Unlock()
+		r.notifyAvailability(id, false)
 		return true
 	}
+	r.mu.Unlock()
 	return false
 }
 

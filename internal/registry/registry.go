@@ -38,6 +38,31 @@ type Registry struct {
 	mu               sync.RWMutex
 	entries          map[string]*Entry
 	failureThreshold int
+	availWatchers    []func(id string, available bool)
+}
+
+// OnAvailabilityChange registers a callback invoked whenever a module's
+// availability actually flips — by SetAvailable, RetireProvider, or the
+// auto-retire/revive paths in RecordFailure/RecordSuccess. Callbacks run
+// outside the registry lock (they may call back into the registry) and on
+// the goroutine that caused the flip; they must be cheap and must not
+// block. The canonical consumer keeps a match.CatalogIndex in sync so its
+// generation counter invalidates caches keyed on catalog state.
+func (r *Registry) OnAvailabilityChange(fn func(id string, available bool)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.availWatchers = append(r.availWatchers, fn)
+}
+
+// notifyAvailability invokes the registered watchers. Callers must NOT
+// hold r.mu: a watcher reading back through Get would deadlock.
+func (r *Registry) notifyAvailability(id string, available bool) {
+	r.mu.RLock()
+	watchers := r.availWatchers
+	r.mu.RUnlock()
+	for _, fn := range watchers {
+		fn(id, available)
+	}
 }
 
 // New creates an empty registry.
@@ -164,15 +189,20 @@ func (r *Registry) Examples(id string) (dataexample.Set, bool) {
 // SetAvailable flips the availability of one module.
 func (r *Registry) SetAvailable(id string, avail bool) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	e, ok := r.entries[id]
 	if !ok {
+		r.mu.Unlock()
 		return fmt.Errorf("registry: unknown module %q", id)
 	}
+	changed := e.Available != avail
 	e.Available = avail
 	if avail {
 		e.Health.AutoRetired = false
 		e.Health.ConsecutiveFailures = 0
+	}
+	r.mu.Unlock()
+	if changed {
+		r.notifyAvailability(id, avail)
 	}
 	return nil
 }
@@ -182,15 +212,19 @@ func (r *Registry) SetAvailable(id string, avail bool) error {
 // its supply (e.g. the KEGG SOAP services in §6).
 func (r *Registry) RetireProvider(provider string) int {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	n := 0
-	for _, e := range r.entries {
+	var retired []string
+	for id, e := range r.entries {
 		if e.Module.Provider == provider && e.Available {
 			e.Available = false
-			n++
+			retired = append(retired, id)
 		}
 	}
-	return n
+	r.mu.Unlock()
+	sort.Strings(retired)
+	for _, id := range retired {
+		r.notifyAvailability(id, false)
+	}
+	return len(retired)
 }
 
 // ByKind returns the available-or-not modules of the given kind, ID order.

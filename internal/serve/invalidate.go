@@ -1,0 +1,31 @@
+package serve
+
+import (
+	"dexa/internal/match"
+	"dexa/internal/registry"
+)
+
+// SyncIndex wires registry availability changes into the catalog index:
+// a module going unavailable (manual retirement, RetireProvider, or the
+// health tracker's auto-retire) is removed from the index, and a module
+// coming back is re-indexed — each flip bumps the index generation.
+//
+// That generation is what keys the serving layer's /matches and
+// /substitutes caches, so wiring this is what makes availability changes
+// invalidate them: without it, an auto-retired module would keep ranking
+// in cached substitute responses until some other catalog change happened
+// to bump the state key. Call it once at startup, after the index is
+// built; it is also the seam the lifecycle manager's quarantine and
+// re-admission flow through when the manager is not given the index
+// directly.
+func SyncIndex(reg *registry.Registry, ix *match.CatalogIndex) {
+	reg.OnAvailabilityChange(func(id string, available bool) {
+		if !available {
+			ix.Remove(id)
+			return
+		}
+		if e, ok := reg.Get(id); ok {
+			ix.Update(e.Module)
+		}
+	})
+}

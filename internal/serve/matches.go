@@ -73,31 +73,37 @@ func (s *Server) matrixStateKey() string {
 }
 
 // substitutesStateKey fingerprints a substitute search for one target:
-// the mode, index generation, the target's stored-set hash, and the set
-// of currently-available candidate modules (candidates are invoked live,
-// so their availability — not their stored annotations — is what the
-// result depends on).
+// the mode, the target's stored-set hash, and the availability of the
+// candidate set (candidates are invoked live, so their availability —
+// not their stored annotations — is what the result depends on).
+//
+// With an index wired (and kept in sync with availability via SyncIndex
+// and the lifecycle manager), the generation counter subsumes the
+// candidate set: every availability flip and signature change bumps it,
+// so the key is O(1) per request. Without an index the key falls back to
+// folding the sorted available-module IDs — correct, but O(catalog).
 func (s *Server) substitutesStateKey(targetID, targetHash string) string {
 	h := sha256.New()
 	io.WriteString(h, s.Comparer.Mode.String())
 	h.Write([]byte{0})
-	if s.Comparer.Index != nil {
-		fmt.Fprintf(h, "g%d", s.Comparer.Index.Generation())
-		h.Write([]byte{0})
-	}
 	io.WriteString(h, targetID)
 	h.Write([]byte{0})
 	io.WriteString(h, targetHash)
 	h.Write([]byte{0})
-	avail := s.Registry.Available()
-	ids := make([]string, len(avail))
-	for i, m := range avail {
-		ids[i] = m.ID
-	}
-	sort.Strings(ids)
-	for _, id := range ids {
-		io.WriteString(h, id)
+	if s.Comparer.Index != nil {
+		fmt.Fprintf(h, "g%d", s.Comparer.Index.Generation())
 		h.Write([]byte{0})
+	} else {
+		avail := s.Registry.Available()
+		ids := make([]string, len(avail))
+		for i, m := range avail {
+			ids[i] = m.ID
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			io.WriteString(h, id)
+			h.Write([]byte{0})
+		}
 	}
 	return hex.EncodeToString(h.Sum(nil))[:32]
 }

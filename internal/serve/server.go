@@ -21,6 +21,10 @@
 //	                                     unchanged catalogs serve the cached build
 //	GET  /stats                        — store and generation counters
 //
+// A server wired with a lifecycle.Manager additionally mounts the
+// live-catalog endpoints — GET /lifecycle, /events, /watch (long-poll
+// change feed) and GET/POST /repairs — documented in lifecycle.go.
+//
 // All responses are JSON. Errors use {"error": "..."} with a matching
 // status code.
 package serve
@@ -35,6 +39,7 @@ import (
 
 	"dexa/internal/core"
 	"dexa/internal/dataexample"
+	"dexa/internal/lifecycle"
 	"dexa/internal/match"
 	"dexa/internal/module"
 	"dexa/internal/registry"
@@ -59,6 +64,11 @@ type Server struct {
 	Source   *store.Source
 	Comparer *match.Comparer
 
+	// Lifecycle, when set, mounts the live-catalog endpoints (/lifecycle,
+	// /events, /watch, /repairs) over the manager's event log and repair
+	// queue. See lifecycle.go.
+	Lifecycle *lifecycle.Manager
+
 	Telemetry *telemetry.Registry
 	Tracer    *telemetry.Tracer
 	Logger    *slog.Logger
@@ -79,7 +89,7 @@ type route struct {
 }
 
 func (s *Server) routes() []route {
-	return []route{
+	rts := []route{
 		{http.MethodGet, "/catalog", s.handleCatalog},
 		{http.MethodGet, "/modules/{id}", s.handleModule},
 		{http.MethodGet, "/modules/{id}/examples", s.handleExamples},
@@ -88,6 +98,10 @@ func (s *Server) routes() []route {
 		{http.MethodGet, "/matches", s.handleMatches},
 		{http.MethodGet, "/stats", s.handleStats},
 	}
+	if s.Lifecycle != nil {
+		rts = append(rts, s.lifecycleRoutes()...)
+	}
+	return rts
 }
 
 // Handler returns the API handler. Mount it under a prefix with

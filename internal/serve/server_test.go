@@ -24,6 +24,7 @@ import (
 )
 
 type fixture struct {
+	ont    *ontology.Ontology
 	reg    *registry.Registry
 	st     *store.Store
 	source *store.Source
@@ -82,7 +83,7 @@ func newFixture(t *testing.T, dir string) *fixture {
 	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
-	return &fixture{reg: reg, st: st, source: source, srv: srv, ts: ts}
+	return &fixture{ont: o, reg: reg, st: st, source: source, srv: srv, ts: ts}
 }
 
 func getJSON(t *testing.T, url string, out any) *http.Response {

@@ -16,13 +16,21 @@ const DefaultGrace = 10 * time.Second
 
 // Serve runs srv on ln until ctx is cancelled, then shuts down
 // gracefully: the listener stops accepting, in-flight requests get up to
-// grace to finish (connection draining), and the store's WAL is flushed
-// and closed so nothing annotated during the run is lost. It returns nil
-// on a clean shutdown.
+// grace to finish (connection draining), the preStop hooks run in order,
+// and only then is the store's WAL flushed and closed, so nothing
+// annotated during the run is lost. It returns nil on a clean shutdown.
+//
+// The preStop hooks are where callers stop background producers that
+// still write through the store or their own journals — dexa-serve uses
+// them to stop the lifecycle probe workers and flush the transition log
+// and repair queue. Ordering matters: the hooks run strictly after the
+// HTTP drain (no request is mid-flight) and strictly before the store
+// close (their final writes still land), so a SIGTERM can never lose a
+// lifecycle transition that a client already observed.
 //
 // The caller owns signal wiring — pass a signal.NotifyContext context to
 // get SIGINT/SIGTERM handling.
-func Serve(ctx context.Context, srv *http.Server, ln net.Listener, grace time.Duration, st *store.Store) error {
+func Serve(ctx context.Context, srv *http.Server, ln net.Listener, grace time.Duration, st *store.Store, preStop ...func() error) error {
 	if grace <= 0 {
 		grace = DefaultGrace
 	}
@@ -41,6 +49,11 @@ func Serve(ctx context.Context, srv *http.Server, ln net.Listener, grace time.Du
 	}
 	if errors.Is(err, http.ErrServerClosed) {
 		err = nil
+	}
+	for _, hook := range preStop {
+		if herr := hook(); herr != nil && err == nil {
+			err = herr
+		}
 	}
 	if st != nil {
 		if cerr := st.Close(); cerr != nil && err == nil {

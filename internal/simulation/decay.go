@@ -1,0 +1,171 @@
+package simulation
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"dexa/internal/module"
+	"dexa/internal/typesys"
+	"dexa/internal/workflow"
+)
+
+// This file turns the decay model of the legacy world (legacy.go) into a
+// scriptable schedule: the same behavioural-mutant defacing that makes
+// the no-match legacies unsubstitutable, plus provider death, applied to
+// *live* catalog modules at chosen offsets. The lifecycle manager's
+// end-to-end tests drive it under the fake clock — decay "happens" at
+// deterministic instants and every probe observes exactly the scripted
+// world state.
+
+// MutantExecutor wraps inner so every output is defaced the way the
+// legacy behavioural mutants are (§6's silent format change): strings are
+// prefixed with "LEGACY-FORMAT\n", floats shifted by +10000. The module
+// still answers — only data examples can tell it drifted.
+func MutantExecutor(inner module.Executor) module.ExecFunc {
+	return func(in map[string]typesys.Value) (map[string]typesys.Value, error) {
+		outs, err := inner.Invoke(in)
+		if err != nil {
+			return nil, err
+		}
+		mutated := make(map[string]typesys.Value, len(outs))
+		for name, v := range outs {
+			switch w := v.(type) {
+			case typesys.StringValue:
+				mutated[name] = typesys.Str("LEGACY-FORMAT\n" + string(w))
+			case typesys.FloatValue:
+				mutated[name] = typesys.Floatv(float64(w) + 10000)
+			default:
+				mutated[name] = v
+			}
+		}
+		return mutated, nil
+	}
+}
+
+// DeadExecutor fails every invocation with a transient Unavailable fault
+// — the provider vanished mid-supply, the retryable way.
+func DeadExecutor(moduleID string) module.ExecFunc {
+	return func(map[string]typesys.Value) (map[string]typesys.Value, error) {
+		return nil, module.Transient(moduleID, module.FaultUnavailable, errors.New("provider gone"))
+	}
+}
+
+// DecayMode says what happens to a module at a scheduled instant.
+type DecayMode int
+
+const (
+	// DecayDrift rebinds the module to a behavioural mutant of itself:
+	// it keeps answering, wrongly.
+	DecayDrift DecayMode = iota
+	// DecayDeath rebinds the module to a dead executor: every call fails
+	// transiently.
+	DecayDeath
+	// DecayRecover restores the module's original executor.
+	DecayRecover
+)
+
+// String returns the mode name.
+func (m DecayMode) String() string {
+	switch m {
+	case DecayDrift:
+		return "drift"
+	case DecayDeath:
+		return "death"
+	case DecayRecover:
+		return "recover"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// DecayEvent is one scripted change: After the given offset from the
+// schedule start, the module decays (or recovers) in the given way.
+type DecayEvent struct {
+	After    time.Duration
+	ModuleID string
+	Mode     DecayMode
+}
+
+// DecaySchedule applies scripted decay events to a universe's catalog as
+// simulated time passes. Events fire in (After, ModuleID) order, so two
+// schedules built from the same script replay identically.
+type DecaySchedule struct {
+	u         *Universe
+	start     time.Time
+	events    []DecayEvent
+	applied   int
+	originals map[string]module.Executor
+}
+
+// NewDecaySchedule builds a schedule over the universe's registry,
+// anchored at start. The original executor of every scripted module is
+// captured up front, so DecayRecover always restores pre-decay behaviour
+// no matter how many decays preceded it.
+func NewDecaySchedule(u *Universe, start time.Time, events []DecayEvent) (*DecaySchedule, error) {
+	s := &DecaySchedule{
+		u: u, start: start,
+		events:    append([]DecayEvent(nil), events...),
+		originals: map[string]module.Executor{},
+	}
+	sort.SliceStable(s.events, func(i, j int) bool {
+		if s.events[i].After != s.events[j].After {
+			return s.events[i].After < s.events[j].After
+		}
+		return s.events[i].ModuleID < s.events[j].ModuleID
+	})
+	for _, ev := range s.events {
+		if _, seen := s.originals[ev.ModuleID]; seen {
+			continue
+		}
+		e, ok := u.Registry.Get(ev.ModuleID)
+		if !ok {
+			return nil, fmt.Errorf("simulation: decay schedule names unknown module %q", ev.ModuleID)
+		}
+		s.originals[ev.ModuleID] = e.Module.Executor()
+	}
+	return s, nil
+}
+
+// CatchUp applies every event due at or before now and returns the
+// events it fired, in order.
+func (s *DecaySchedule) CatchUp(now time.Time) []DecayEvent {
+	var fired []DecayEvent
+	for s.applied < len(s.events) {
+		ev := s.events[s.applied]
+		if s.start.Add(ev.After).After(now) {
+			break
+		}
+		s.apply(ev)
+		fired = append(fired, ev)
+		s.applied++
+	}
+	return fired
+}
+
+// Remaining returns how many scripted events have not fired yet.
+func (s *DecaySchedule) Remaining() int { return len(s.events) - s.applied }
+
+func (s *DecaySchedule) apply(ev DecayEvent) {
+	e, ok := s.u.Registry.Get(ev.ModuleID)
+	if !ok {
+		return
+	}
+	switch ev.Mode {
+	case DecayDrift:
+		e.Module.Bind(MutantExecutor(s.originals[ev.ModuleID]))
+	case DecayDeath:
+		e.Module.Bind(DeadExecutor(ev.ModuleID))
+	case DecayRecover:
+		e.Module.Bind(s.originals[ev.ModuleID])
+	}
+}
+
+// ComposeWorkflow builds an independent-branch workflow over the given
+// modules — the repository generator's shape (composeRepositoryWorkflow)
+// exported for lifecycle test beds that need a small repository
+// referencing specific modules.
+func ComposeWorkflow(id, name string, mods []*module.Module) *workflow.Workflow {
+	return composeRepositoryWorkflow(id, name, mods, nil)
+}

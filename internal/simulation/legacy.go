@@ -318,26 +318,10 @@ func (lw *LegacyWorld) buildNoMatchLegacies() {
 	for i, id := range mutants {
 		avail := lw.mustCatalogModule(id)
 		legacy := cloneSignature(avail, fmt.Sprintf("legacy.mutant%02d.%s", i, id), "DefunctLab")
-		inner := avail
-		legacy.Bind(module.ExecFunc(func(in map[string]typesys.Value) (map[string]typesys.Value, error) {
-			outs, err := inner.Invoke(in)
-			if err != nil {
-				return nil, err
-			}
-			// Deface every output so no candidate ever agrees.
-			mutated := make(map[string]typesys.Value, len(outs))
-			for name, v := range outs {
-				switch w := v.(type) {
-				case typesys.StringValue:
-					mutated[name] = typesys.Str("LEGACY-FORMAT\n" + string(w))
-				case typesys.FloatValue:
-					mutated[name] = typesys.Floatv(float64(w) + 10000)
-				default:
-					mutated[name] = v
-				}
-			}
-			return mutated, nil
-		}))
+		// Deface every output so no candidate ever agrees (MutantExecutor
+		// is the shared decay model — decay.go scripts it onto live
+		// modules too).
+		legacy.Bind(MutantExecutor(avail))
 		lw.Traced = append(lw.Traced, &LegacyModule{Module: legacy, Expected: ExpectNone})
 	}
 	for i := 0; i < 13; i++ {
