@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race race-store race-match race-lifecycle bench bench-smoke bench-overhead bench-match experiments
+.PHONY: ci vet build test race race-store race-match race-lifecycle race-columnar bench bench-smoke bench-overhead bench-match bench-columnar experiments
 
-ci: vet build race race-store race-match race-lifecycle bench-smoke bench-overhead bench-match
+ci: vet build race race-store race-match race-lifecycle race-columnar bench-smoke bench-overhead bench-match bench-columnar
 
 vet:
 	$(GO) vet ./...
@@ -47,6 +47,21 @@ race-lifecycle:
 # results, not timings — safe on any host.
 bench-match:
 	$(GO) run ./cmd/dexa-bench -match-only
+
+# Columnar-core gate: interned-ID alignment must be byte-identical to
+# the string-keyed oracle over every mappable pair, the incremental
+# matrix must equal a fresh full build across catalog mutations, and the
+# scratch hot paths must hold their allocation budget (keyed compare at
+# 0 allocs/op, warm indexed matrix under 2000). Gates results and alloc
+# counts, not timings — safe on any host.
+bench-columnar:
+	$(GO) run ./cmd/dexa-bench -columnar-only
+
+# Columnar concurrency: the shared symbol table hammered from parallel
+# store writers, interning racing lookups, and incremental matrix
+# rebuilds racing index mutations.
+race-columnar:
+	$(GO) test -race -count=2 -run 'TestSymbolTable|TestStoreParallelPut|TestIncrementalMatrix' ./internal/dataexample/ ./internal/store/ ./internal/match/
 
 # Telemetry-overhead gate: generation with a live metrics registry must
 # stay within 5% of the no-op recorder. Remeasures once on failure to

@@ -11,6 +11,7 @@
 //	dexa-bench -baseline BENCH_2026-08-06.json      # regression check (30% tolerance)
 //	dexa-bench -baseline old.json -tolerance 0.15
 //	dexa-bench -match-only                          # match-equality gate only (no snapshot)
+//	dexa-bench -columnar-only                       # columnar-core gate only (no snapshot)
 //
 // Every measurement pairs a baseline implementation with its optimized
 // counterpart (sequential loop vs worker-pool sweep, cold vs warm
@@ -81,6 +82,7 @@ func main() {
 	overheadOnly := flag.Bool("overhead-only", false, "run only the telemetry-overhead gate (no snapshot); exit non-zero when instrumented generation exceeds the overhead tolerance")
 	overheadTol := flag.Float64("overhead-tolerance", 0.05, "allowed fractional slowdown of instrumented generation over the no-op recorder")
 	matchOnly := flag.Bool("match-only", false, "run only the match-equality gate (no snapshot); exit non-zero when the indexed search diverges from the exhaustive one or pruning falls short of the mapping-infeasible fraction")
+	columnarOnly := flag.Bool("columnar-only", false, "run only the columnar-core gate (no snapshot); exit non-zero when interned-ID alignment diverges from the string-keyed oracle, the incremental matrix diverges from a full build, or the scratch hot paths exceed their allocation budget")
 	flag.Parse()
 	if *out == "" {
 		*out = "BENCH_" + time.Now().Format("2006-01-02") + ".json"
@@ -217,6 +219,161 @@ func main() {
 	}
 	if *matchOnly {
 		if checkMatch() {
+			os.Exit(1)
+		}
+		return
+	}
+
+	// checkColumnar is the correctness-and-allocation gate behind the
+	// columnar comparison core. It verifies three properties: interned-ID
+	// alignment is byte-identical to the string-keyed oracle for every
+	// mappable ordered pair in both mapping modes; the incremental matrix
+	// stays byte-identical to a fresh full build across annotation
+	// changes, catalog shrinkage and index availability flips; and the
+	// scratch-driven hot paths hold their allocation budget — the keyed
+	// self-comparison at zero allocs/op and the warm indexed matrix under
+	// 2000 allocs/op — so neither can creep back up unnoticed.
+	checkColumnar := func() bool {
+		failed := false
+		fail := func(format string, args ...any) {
+			failed = true
+			fmt.Fprintf(os.Stderr, "COLUMNAR GATE FAILURE: "+format+"\n", args...)
+		}
+		tab := dataexample.NewSymbolTable()
+		raw := map[string]dataexample.Set{}
+		keyed := map[string]*dataexample.KeyedSet{}
+		for _, m := range mods {
+			if s, _, err := u.Gen.Generate(m); err == nil && len(s) > 0 {
+				raw[m.ID] = s
+				keyed[m.ID] = s.KeyedInterned(tab)
+			}
+		}
+		keyedSrc := func(id string) (*dataexample.KeyedSet, bool) {
+			s, ok := keyed[id]
+			return s, ok
+		}
+		ctx := context.Background()
+
+		// Interned alignment vs the string-keyed oracle, every mappable
+		// ordered pair, both modes, one shared scratch throughout (so a
+		// stale-scratch bug would surface as a divergence too).
+		var sc match.CompareScratch
+		for _, mode := range []match.Mode{match.ModeExact, match.ModeRelaxed} {
+			pairs := 0
+			for _, t := range mods {
+				for _, c := range mods {
+					if t.ID == c.ID || keyed[t.ID] == nil || keyed[c.ID] == nil {
+						continue
+					}
+					mapping, ok := match.MapParameters(u.Ont, t, c, mode)
+					if !ok {
+						continue
+					}
+					pairs++
+					want := match.CompareExampleSets(t.ID, c.ID, raw[t.ID], raw[c.ID], mapping)
+					got := match.CompareKeyedSetsScratch(&sc, t.ID, c.ID, keyed[t.ID], keyed[c.ID], mapping)
+					if !reflect.DeepEqual(got, want) {
+						fail("%s interned alignment diverged from the string-keyed oracle for %s -> %s", mode, t.ID, c.ID)
+					}
+				}
+			}
+			fmt.Fprintf(os.Stderr, "  columnar gate %-8s %d mappable pairs agree with the oracle\n", mode.String()+":", pairs)
+		}
+
+		// Allocation budgets, measured before any fixture mutation below.
+		selfKeyed := keyed[entry.Module.ID]
+		selfMap, ok := match.MapParameters(u.Ont, entry.Module, entry.Module, match.ModeExact)
+		if selfKeyed == nil || !ok {
+			fail("self-comparison fixture missing for %s", entry.Module.ID)
+			return true
+		}
+		var gateSc match.CompareScratch
+		cmpBench := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if r := match.CompareKeyedSetsScratch(&gateSc, entry.Module.ID, entry.Module.ID, selfKeyed, selfKeyed, selfMap); r.Verdict != match.Equivalent {
+					b.Fatal("unexpected verdict")
+				}
+			}
+		})
+		if a := cmpBench.AllocsPerOp(); a != 0 {
+			fail("keyed scratch comparison allocates %d allocs/op, want 0", a)
+		} else {
+			fmt.Fprintf(os.Stderr, "  columnar gate allocs:  compare-sets/keyed 0 allocs/op\n")
+		}
+		wcmp := match.NewComparer(u.Ont, nil)
+		wcmp.Index = match.NewCatalogIndex(u.Ont, mods)
+		if _, err := wcmp.MatchMatrixFromKeyedSets(ctx, mods, keyedSrc); err != nil {
+			fail("warm matrix build: %v", err)
+			return true
+		}
+		mmBench := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := wcmp.MatchMatrixFromKeyedSets(ctx, mods, keyedSrc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if a := mmBench.AllocsPerOp(); a >= 2000 {
+			fail("warm indexed matrix allocates %d allocs/op, want < 2000", a)
+		} else {
+			fmt.Fprintf(os.Stderr, "  columnar gate allocs:  match-matrix/warm %d allocs/op (< 2000)\n", mmBench.AllocsPerOp())
+		}
+
+		// Incremental vs full across a mutation sequence: every step runs
+		// the incremental matrix and a from-scratch build over identical
+		// inputs and demands byte-identical results.
+		ix := match.NewCatalogIndex(u.Ont, mods)
+		icmp := match.NewComparer(u.Ont, nil)
+		icmp.Index = ix
+		inc := match.NewIncrementalMatrix(icmp)
+		step := func(name string, ms []*module.Module) {
+			got, err := inc.Matrix(ctx, ms, keyedSrc)
+			if err != nil {
+				fail("incremental matrix (%s): %v", name, err)
+				return
+			}
+			want, err := icmp.MatchMatrixFromKeyedSets(ctx, ms, keyedSrc)
+			if err != nil {
+				fail("full matrix (%s): %v", name, err)
+				return
+			}
+			if !reflect.DeepEqual(got, want) {
+				fail("incremental matrix diverged from the full build after %q", name)
+			}
+		}
+		step("initial build", mods)
+		step("no change", mods)
+		var mutID string
+		for _, m := range mods {
+			if m.ID != entry.Module.ID && keyed[m.ID] != nil {
+				mutID = m.ID
+				break
+			}
+		}
+		if mutID == "" {
+			fail("no mutable fixture module")
+			return true
+		}
+		keyed[mutID] = raw[mutID].KeyedInterned(tab)
+		step("re-interned set, same content", mods)
+		if len(raw[mutID]) > 1 {
+			keyed[mutID] = raw[mutID][:len(raw[mutID])-1].KeyedInterned(tab)
+			step("changed annotation", mods)
+		}
+		step("removed module", mods[1:])
+		ix.Remove(entry.Module.ID)
+		step("index remove", mods)
+		ix.Update(entry.Module)
+		step("index update", mods)
+		if !failed {
+			fmt.Fprintln(os.Stderr, "  columnar gate incremental: all mutation steps identical to full builds")
+		}
+		return failed
+	}
+	if *columnarOnly {
+		if checkColumnar() {
 			os.Exit(1)
 		}
 		return
@@ -360,17 +517,21 @@ func main() {
 	run("find-substitutes/indexed", substitutes(1, true))
 
 	// Set alignment: canonical keys recomputed per comparison (the old
-	// compareSets path) vs interned once per set (KeyedSet). The target's
-	// own set against itself under the identity mapping is the densest
-	// case — every example aligns and every output pair agrees.
+	// compareSets path) vs symbol IDs interned once per set and probed
+	// through caller-owned scratch (the matrix sweep's per-cell path:
+	// bitset membership, uint32 output equality, zero steady-state
+	// allocations). The target's own set against itself under the
+	// identity mapping is the densest case — every example aligns and
+	// every output pair agrees.
 	selfMapping, ok := match.MapParameters(u.Ont, entry.Module, entry.Module, match.ModeExact)
 	if !ok {
 		fmt.Fprintln(os.Stderr, "self-mapping must exist")
 		os.Exit(1)
 	}
 	unkeyedRes := match.CompareExampleSets(entry.Module.ID, entry.Module.ID, set, set, selfMapping)
-	keyedSet := set.Keyed()
-	keyedRes := match.CompareKeyedSets(entry.Module.ID, entry.Module.ID, keyedSet, keyedSet, selfMapping)
+	keyedSet := set.KeyedInterned(dataexample.NewSymbolTable())
+	var keyedScratch match.CompareScratch
+	keyedRes := match.CompareKeyedSetsScratch(&keyedScratch, entry.Module.ID, entry.Module.ID, keyedSet, keyedSet, selfMapping)
 	if !reflect.DeepEqual(unkeyedRes, keyedRes) {
 		fmt.Fprintln(os.Stderr, "MATCH GATE FAILURE: keyed alignment diverged from unkeyed alignment")
 		os.Exit(1)
@@ -386,24 +547,34 @@ func main() {
 	run("compare-sets/keyed", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if r := match.CompareKeyedSets(entry.Module.ID, entry.Module.ID, keyedSet, keyedSet, selfMapping); r.Verdict != match.Equivalent {
+			if r := match.CompareKeyedSetsScratch(&keyedScratch, entry.Module.ID, entry.Module.ID, keyedSet, keyedSet, selfMapping); r.Verdict != match.Equivalent {
 				b.Fatal("unexpected verdict")
 			}
 		}
 	})
 
-	// All-pairs matrix over the full catalog: the cold sweep tries a
-	// mapping for every ordered pair; the warm sweep is the steady state
-	// the serving layer reaches — signature index built once, pruning the
-	// infeasible bulk before any alignment.
+	// All-pairs matrix over the full catalog: the cold sweep keys and
+	// interns every set and tries a mapping for every ordered pair; the
+	// warm sweep is the steady state the serving layer reaches —
+	// signature index and interned keyed sets built once, pruning the
+	// infeasible bulk before any alignment and comparing symbol IDs in
+	// the cells that remain. The incremental variant is the /matches
+	// rebuild path when nothing changed: diff, copy, reassemble.
 	matrixSets := map[string]dataexample.Set{}
+	matrixTab := dataexample.NewSymbolTable()
+	matrixKeyed := map[string]*dataexample.KeyedSet{}
 	for _, m := range mods {
 		if s, _, err := u.Gen.Generate(m); err == nil && len(s) > 0 {
 			matrixSets[m.ID] = s
+			matrixKeyed[m.ID] = s.KeyedInterned(matrixTab)
 		}
 	}
 	matrixSrc := func(id string) (dataexample.Set, bool) {
 		s, ok := matrixSets[id]
+		return s, ok
+	}
+	matrixKeyedSrc := func(id string) (*dataexample.KeyedSet, bool) {
+		s, ok := matrixKeyed[id]
 		return s, ok
 	}
 	run("match-matrix/cold", func(b *testing.B) {
@@ -421,7 +592,22 @@ func main() {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := cmp.MatchMatrixFromSets(context.Background(), mods, matrixSrc); err != nil {
+			if _, err := cmp.MatchMatrixFromKeyedSets(context.Background(), mods, matrixKeyedSrc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	run("match-matrix/incremental", func(b *testing.B) {
+		cmp := match.NewComparer(u.Ont, nil)
+		cmp.Index = match.NewCatalogIndex(u.Ont, mods)
+		inc := match.NewIncrementalMatrix(cmp)
+		if _, err := inc.Matrix(context.Background(), mods, matrixKeyedSrc); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := inc.Matrix(context.Background(), mods, matrixKeyedSrc); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -621,6 +807,7 @@ func main() {
 	})
 
 	matchFailed := checkMatch()
+	columnarFailed := checkColumnar()
 	overheadFailed := checkOverhead(true)
 	// Informational: full request-style tracing on top of live metrics.
 	// Spans in the per-combination hot loop make this measurably slower;
@@ -650,6 +837,7 @@ func main() {
 			speedup("substitute search index pruning", "find-substitutes/sequential", "find-substitutes/indexed"),
 			speedup("set alignment key interning", "compare-sets/unkeyed", "compare-sets/keyed"),
 			speedup("match matrix index pruning", "match-matrix/cold", "match-matrix/warm"),
+			speedup("match matrix incremental steady state", "match-matrix/warm", "match-matrix/incremental"),
 			speedup("ontology reachability cache", "ontology-partitions/cold", "ontology-partitions/warm"),
 			speedup("homology search sharding", "homology-search/sequential", "homology-search/sharded"),
 			speedup("store read vs write", "store-write/put", "store-read/get"),
@@ -675,7 +863,7 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "snapshot written to %s\n", *out)
 
-	failed := overheadFailed || matchFailed
+	failed := overheadFailed || matchFailed || columnarFailed
 	if *baseline != "" {
 		failed = checkRegression(rep, *baseline, *tolerance) || failed
 	}

@@ -52,18 +52,21 @@ func main() {
 	case *all:
 		mods := u.Registry.Modules()
 		cmp.Index = match.NewCatalogIndex(u.Ont, mods)
-		// Annotate every module up front; modules whose generation fails
-		// (unavailable executors, say) surface in the matrix's Missing list.
-		sets := make(map[string]dataexample.Set, len(mods))
+		// Annotate every module up front, keying and interning each set
+		// into one shared symbol table so the sweep compares symbol IDs;
+		// modules whose generation fails (unavailable executors, say)
+		// surface in the matrix's Missing list.
+		tab := dataexample.NewSymbolTable()
+		sets := make(map[string]*dataexample.KeyedSet, len(mods))
 		for _, m := range mods {
 			set, _, err := u.Gen.Generate(m)
 			if err != nil || len(set) == 0 {
 				fmt.Fprintf(os.Stderr, "skipping %s: no examples (%v)\n", m.ID, err)
 				continue
 			}
-			sets[m.ID] = set
+			sets[m.ID] = set.KeyedInterned(tab)
 		}
-		mm, err := cmp.MatchMatrixFromSets(context.Background(), mods, func(id string) (dataexample.Set, bool) {
+		mm, err := cmp.MatchMatrixFromKeyedSets(context.Background(), mods, func(id string) (*dataexample.KeyedSet, bool) {
 			s, ok := sets[id]
 			return s, ok
 		})

@@ -184,6 +184,14 @@ func compareSets(targetID, candidateID string, tSet, cSet dataexample.Set, mappi
 	return res
 }
 
+// CompareScratch holds the per-comparison buffers CompareKeyedSetsScratch
+// reuses across calls, so a warm caller — a matrix sweep visiting tens of
+// thousands of cells — allocates nothing per comparison. A scratch must
+// not be shared between goroutines; give each worker its own.
+type CompareScratch struct {
+	agreeing map[string]bool
+}
+
 // CompareKeyedSets is CompareExampleSets over key-interned sets: the
 // alignment probes the candidate's precomputed input-key index, and under
 // an identity mapping (parameter names coincide, the common case inside a
@@ -192,23 +200,58 @@ func compareSets(targetID, candidateID string, tSet, cSet dataexample.Set, mappi
 // prove agreement without touching the value maps; unequal keys fall back
 // to the per-parameter check, which also covers non-identity mappings.
 func CompareKeyedSets(targetID, candidateID string, tSet, cSet *dataexample.KeyedSet, mapping Mapping) Result {
-	res := Result{TargetID: targetID, CandidateID: candidateID, Mapping: mapping, AgreeingKeys: map[string]bool{}}
+	return CompareKeyedSetsScratch(nil, targetID, candidateID, tSet, cSet, mapping)
+}
+
+// CompareKeyedSetsScratch is CompareKeyedSets with caller-owned scratch.
+// The returned Result's AgreeingKeys aliases the scratch and is valid
+// only until the next call with the same scratch; pass nil to get a
+// fresh, caller-owned map (identical to CompareKeyedSets).
+//
+// When both sets were interned in the same SymbolTable and the mapping is
+// the identity, the alignment runs entirely over symbol IDs: membership
+// is a bitset probe and output agreement a uint32 compare, with the
+// per-parameter value check only as the fallback for unequal output keys.
+func CompareKeyedSetsScratch(sc *CompareScratch, targetID, candidateID string, tSet, cSet *dataexample.KeyedSet, mapping Mapping) Result {
+	res := Result{TargetID: targetID, CandidateID: candidateID, Mapping: mapping}
+	if sc != nil {
+		if sc.agreeing == nil {
+			sc.agreeing = make(map[string]bool, 8)
+		}
+		clear(sc.agreeing)
+		res.AgreeingKeys = sc.agreeing
+	} else {
+		res.AgreeingKeys = map[string]bool{}
+	}
 	idIn := identityMapping(mapping.Inputs)
 	idOut := identityMapping(mapping.Outputs)
+	sameTable := tSet.Table() != nil && tSet.Table() == cSet.Table()
+	useIDs := idIn && sameTable
 	for i := 0; i < tSet.Len(); i++ {
-		var key string
-		if idIn {
-			key = tSet.InputKey(i)
-		} else {
+		var j int
+		var ok bool
+		switch {
+		case useIDs:
+			j, ok = cSet.IndexByInputID(tSet.InputID(i))
+		case idIn:
+			j, ok = cSet.IndexByInput(tSet.InputKey(i))
+		default:
 			te := tSet.Example(i)
-			key = (dataexample.Example{Inputs: translateInputs(te.Inputs, mapping.Inputs)}).InputKey()
+			key := (dataexample.Example{Inputs: translateInputs(te.Inputs, mapping.Inputs)}).InputKey()
+			j, ok = cSet.IndexByInput(key)
 		}
-		j, ok := cSet.IndexByInput(key)
 		if !ok {
 			continue
 		}
 		res.Compared++
-		agree := idOut && tSet.OutputKey(i) == cSet.OutputKey(j)
+		var agree bool
+		if idOut {
+			if sameTable {
+				agree = tSet.OutputID(i) == cSet.OutputID(j)
+			} else {
+				agree = tSet.OutputKey(i) == cSet.OutputKey(j)
+			}
+		}
 		if !agree {
 			agree = outputsAgree(tSet.Example(i).Outputs, cSet.Example(j).Outputs, mapping.Outputs)
 		}

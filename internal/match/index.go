@@ -52,10 +52,13 @@ type CatalogIndex struct {
 	mu   sync.RWMutex
 	sigs map[string]*moduleSig // module ID -> signature snapshot
 	// Dense numbering for the posting bitsets, rebuilt on every mutation.
-	ids      []string       // sorted module IDs
-	rank     map[string]int // module ID -> dense index
-	words    int            // bitset words per posting
-	postings map[string][]uint64
+	ids   []string       // sorted module IDs
+	rank  map[string]int // module ID -> dense index
+	words int            // bitset words per posting
+	// One posting map per side, keyed by bare parameter fingerprint, so
+	// queries never build a side-prefixed key string.
+	inPostings  map[string][]uint64
+	outPostings map[string][]uint64
 
 	generation atomic.Uint64
 	builds     atomic.Uint64
@@ -170,23 +173,23 @@ func (ix *CatalogIndex) rebuildLocked() {
 		ix.rank[id] = i
 	}
 	ix.words = (n + 63) / 64
-	// Postings are keyed "i\x00fp" / "o\x00fp" so one map serves both sides.
-	ix.postings = make(map[string][]uint64)
-	set := func(key string, i int) {
-		bits, ok := ix.postings[key]
+	ix.inPostings = make(map[string][]uint64)
+	ix.outPostings = make(map[string][]uint64)
+	set := func(postings map[string][]uint64, fp string, i int) {
+		bits, ok := postings[fp]
 		if !ok {
 			bits = make([]uint64, ix.words)
-			ix.postings[key] = bits
+			postings[fp] = bits
 		}
 		bits[i/64] |= 1 << (i % 64)
 	}
 	for i, id := range ix.ids {
 		sig := ix.sigs[id]
 		for fp := range sig.inClasses {
-			set("i\x00"+fp, i)
+			set(ix.inPostings, fp, i)
 		}
 		for fp := range sig.outClasses {
-			set("o\x00"+fp, i)
+			set(ix.outPostings, fp, i)
 		}
 	}
 	elapsed := time.Since(start)
@@ -238,11 +241,28 @@ func (ix *CatalogIndex) Instrument(r *telemetry.Registry) {
 	ix.mu.Unlock()
 }
 
+// Contains reports whether the module is currently indexed. The
+// incremental matrix folds per-module membership into its change
+// detection: membership decides whether a candidate can be pruned at
+// all, so a module entering or leaving the index (lifecycle availability
+// flips) invalidates its row and column even when its signature and
+// stored examples are untouched.
+func (ix *CatalogIndex) Contains(id string) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	_, ok := ix.sigs[id]
+	return ok
+}
+
 // Feasibility is the result of one pruning query: which indexed modules
-// could possibly admit a parameter mapping from the target. It is an
-// immutable snapshot — concurrent index mutations do not affect it.
+// could possibly admit a parameter mapping from the target, as a packed
+// bitset over the index's dense numbering. It is an immutable snapshot —
+// concurrent index mutations replace the numbering wholesale and do not
+// affect it.
 type Feasibility struct {
-	feasible map[string]bool // indexed module ID -> mapping-feasible
+	rank map[string]int // the index numbering this query ran under (shared)
+	bits []uint64       // feasible bitset over rank
+	self int            // target's own rank, -1 when unindexed
 	// Candidates is how many indexed modules were considered and Pruned
 	// how many of them were rejected.
 	Candidates int
@@ -251,69 +271,59 @@ type Feasibility struct {
 
 // Prunes reports whether the candidate is known to be mapping-infeasible.
 // Unindexed modules are never pruned — the comparison falls through to
-// MapParameters as before.
+// MapParameters as before. Neither is the target itself (callers skip it
+// anyway).
 func (f *Feasibility) Prunes(id string) bool {
 	if f == nil {
 		return false
 	}
-	v, ok := f.feasible[id]
-	return ok && !v
+	i, ok := f.rank[id]
+	if !ok || i == f.self {
+		return false
+	}
+	return f.bits[i>>6]&(1<<(uint(i)&63)) == 0
 }
 
 // Feasibility computes the mapping-feasible candidate set for the target
-// signature under the given mode.
+// signature under the given mode. The query is allocation-light by
+// design — it is the per-row cost of every warm matrix sweep: it walks
+// the target's precomputed fingerprint classes (same-class parameters
+// give identical intersections, so per-class is per-parameter), probes
+// the postings through one reused key buffer, and allocates only the
+// result bitset, its scratch and that buffer. The returned snapshot
+// shares the index's (immutable) numbering.
 func (ix *CatalogIndex) Feasibility(target *module.Module, mode Mode) *Feasibility {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 
 	n := len(ix.ids)
-	out := &Feasibility{feasible: make(map[string]bool, n)}
 	live := make([]uint64, ix.words)
 	for i := 0; i < n; i++ {
 		live[i/64] |= 1 << (i % 64)
 	}
-	scratch := make([]uint64, ix.words)
+	q := feasQuery{ix: ix, mode: mode, live: live, scratch: make([]uint64, ix.words)}
 
-	// Posting intersection: every target parameter must find at least one
-	// compatible parameter on the candidate's matching side.
-	intersect := func(side string, p module.Parameter, concepts []string) bool {
-		for w := range scratch {
-			scratch[w] = 0
-		}
-		s := p.Struct.String()
-		for _, concept := range concepts {
-			if bits, ok := ix.postings[side+"\x00"+fingerprint(s, concept)]; ok {
-				for w := range scratch {
-					scratch[w] |= bits[w]
-				}
-			}
-		}
-		empty := true
-		for w := range live {
-			live[w] &= scratch[w]
-			if live[w] != 0 {
-				empty = false
-			}
-		}
-		return !empty
-	}
+	tSig := ix.targetSigLocked(target)
 	alive := true
-	for _, p := range target.Inputs {
+	for _, tc := range tSig.inClasses {
 		if !alive {
 			break
 		}
-		alive = intersect("i", p, ix.compatibleInputConcepts(p.Semantic, mode))
+		alive = q.intersect(ix.inPostings, tc.strct, tc.concept, false)
 	}
-	for _, p := range target.Outputs {
+	for _, tc := range tSig.outClasses {
 		if !alive {
 			break
 		}
-		alive = intersect("o", p, ix.compatibleOutputConcepts(p.Semantic, mode))
+		alive = q.intersect(ix.outPostings, tc.strct, tc.concept, true)
 	}
 
-	tSig := signatureOf(target)
+	out := &Feasibility{rank: ix.rank, bits: live, self: -1}
+	if i, ok := ix.rank[target.ID]; ok {
+		out.self = i
+	}
 	for i, id := range ix.ids {
-		if id == target.ID {
+		if i == out.self {
 			continue // never its own substitute; callers skip it anyway
 		}
 		out.Candidates++
@@ -321,50 +331,142 @@ func (ix *CatalogIndex) Feasibility(target *module.Module, mode Mode) *Feasibili
 		if ok {
 			ok = countFeasible(tSig, ix.sigs[id], mode)
 		}
-		out.feasible[id] = ok
 		if !ok {
+			live[i/64] &^= 1 << (i % 64)
 			out.Pruned++
 		}
 	}
 	return out
 }
 
-// compatibleInputConcepts returns the candidate input concepts a target
-// input annotated with sem can map onto: in ModeExact exactly sem; in
-// ModeRelaxed every concept subsuming sem, i.e. {sem} ∪ ancestors(sem)
-// from the bitset closure (empty for a concept the ontology does not
-// know — Subsumes never holds for those, not even reflexively).
-func (ix *CatalogIndex) compatibleInputConcepts(sem string, mode Mode) []string {
-	if mode == ModeExact {
-		return []string{sem}
-	}
-	if !ix.ont.Has(sem) {
-		return nil
-	}
-	anc := ix.ont.AncestorsView(sem)
-	out := make([]string, 0, len(anc)+1)
-	out = append(out, sem)
-	out = append(out, anc...)
-	return out
+// feasQuery is the scratch state of one Feasibility row: the live bitset
+// being intersected, the per-parameter scratch, and the reused posting
+// key buffer (probed via the allocation-free map[string(buf)] form).
+type feasQuery struct {
+	ix      *CatalogIndex
+	mode    Mode
+	live    []uint64
+	scratch []uint64
+	keyBuf  []byte
 }
 
-// compatibleOutputConcepts is the output-side analogue: relaxed accepts
-// subsumption in either direction, so the compatible set is
-// {sem} ∪ ancestors(sem) ∪ descendants(sem).
-func (ix *CatalogIndex) compatibleOutputConcepts(sem string, mode Mode) []string {
+// intersect ANDs into live the union of postings compatible with one
+// target fingerprint class: every target parameter must find at least
+// one compatible parameter on the candidate's matching side.
+func (q *feasQuery) intersect(postings map[string][]uint64, strct, sem string, output bool) bool {
+	for w := range q.scratch {
+		q.scratch[w] = 0
+	}
+	if q.mode == ModeExact {
+		q.orPosting(postings, strct, sem)
+	} else if q.ix.ont.Has(sem) { // Subsumes never holds for unknown concepts
+		q.orPosting(postings, strct, sem)
+		for _, a := range q.ix.ont.AncestorsView(sem) {
+			q.orPosting(postings, strct, a)
+		}
+		if output { // outputs accept subsumption in either direction
+			for _, d := range q.ix.ont.DescendantsView(sem) {
+				q.orPosting(postings, strct, d)
+			}
+		}
+	}
+	empty := true
+	for w := range q.live {
+		q.live[w] &= q.scratch[w]
+		if q.live[w] != 0 {
+			empty = false
+		}
+	}
+	return !empty
+}
+
+// orPosting ORs the posting bitset of one (struct, concept) fingerprint
+// into the scratch, building the key in the reused buffer.
+func (q *feasQuery) orPosting(postings map[string][]uint64, strct, concept string) {
+	q.keyBuf = append(q.keyBuf[:0], strct...)
+	q.keyBuf = append(q.keyBuf, 0)
+	q.keyBuf = append(q.keyBuf, concept...)
+	if bits, ok := postings[string(q.keyBuf)]; ok {
+		for w := range q.scratch {
+			q.scratch[w] |= bits[w]
+		}
+	}
+}
+
+// targetSigLocked resolves the target's signature: the indexed snapshot
+// when present (the index contract requires Update on signature change,
+// so the snapshot is current by invariant), a fresh one otherwise.
+func (ix *CatalogIndex) targetSigLocked(target *module.Module) *moduleSig {
+	if sig, ok := ix.sigs[target.ID]; ok {
+		return sig
+	}
+	return signatureOf(target)
+}
+
+// PrunesPair is the single-pair form of a Feasibility query: it decides,
+// from signatures alone, whether the index prunes the ordered direction
+// target → candidate, returning exactly the verdict the posting
+// intersection gives that candidate (each candidate's live bit depends
+// only on its own signature, so the per-pair check and the row query
+// agree by construction; TestCatalogIndexPairAgreesWithRow pins this).
+// Unindexed candidates are never pruned, mirroring Prunes.
+func (ix *CatalogIndex) PrunesPair(target, candidate *module.Module, mode Mode) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	cSig, ok := ix.sigs[candidate.ID]
+	if !ok || candidate.ID == target.ID {
+		return false
+	}
+	tSig := ix.targetSigLocked(target)
+	return !ix.pairFeasibleLocked(tSig, cSig, mode)
+}
+
+// pairFeasibleLocked replicates, for one candidate, the conjunction the
+// row query computes: per-target-parameter existence of a compatible
+// candidate parameter (the posting intersection, here per fingerprint
+// class since same-class parameters share struct and concept) and the
+// counting conditions.
+func (ix *CatalogIndex) pairFeasibleLocked(t, c *moduleSig, mode Mode) bool {
+	for _, tc := range t.inClasses {
+		if !ix.sideHasCompatible(c.inClasses, tc.strct, tc.concept, mode, false) {
+			return false
+		}
+	}
+	for _, tc := range t.outClasses {
+		if !ix.sideHasCompatible(c.outClasses, tc.strct, tc.concept, mode, true) {
+			return false
+		}
+	}
+	return countFeasible(t, c, mode)
+}
+
+// sideHasCompatible reports whether one side of a candidate signature
+// carries at least one parameter a target parameter (strct, sem) can map
+// onto — the per-candidate membership test the postings answer in bulk.
+func (ix *CatalogIndex) sideHasCompatible(classes map[string]paramClass, strct, sem string, mode Mode, output bool) bool {
 	if mode == ModeExact {
-		return []string{sem}
+		_, ok := classes[fingerprint(strct, sem)]
+		return ok
 	}
 	if !ix.ont.Has(sem) {
-		return nil
+		return false // Subsumes never holds for unknown concepts
 	}
-	anc := ix.ont.AncestorsView(sem)
-	desc := ix.ont.DescendantsView(sem)
-	out := make([]string, 0, len(anc)+len(desc)+1)
-	out = append(out, sem)
-	out = append(out, anc...)
-	out = append(out, desc...)
-	return out
+	if _, ok := classes[fingerprint(strct, sem)]; ok {
+		return true
+	}
+	for _, a := range ix.ont.AncestorsView(sem) {
+		if _, ok := classes[fingerprint(strct, a)]; ok {
+			return true
+		}
+	}
+	if output {
+		for _, d := range ix.ont.DescendantsView(sem) {
+			if _, ok := classes[fingerprint(strct, d)]; ok {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // countFeasible applies the counting conditions of the bijection on top
@@ -418,4 +520,15 @@ func countFeasible(t, c *moduleSig, mode Mode) bool {
 		}
 	}
 	return true
+}
+
+// sigSnapshot returns the index's current signature snapshot for a
+// module (nil when unindexed). Update installs a fresh snapshot pointer
+// and Remove drops it, so the incremental matrix uses pointer identity
+// as an exact per-module "did the index's view of this module change"
+// probe — cheaper and more precise than the global Generation counter.
+func (ix *CatalogIndex) sigSnapshot(id string) *moduleSig {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.sigs[id]
 }

@@ -67,32 +67,89 @@ type Mapping struct {
 // outputs). Optional candidate inputs that remain unmapped are allowed —
 // they fall back to their defaults.
 func MapParameters(ont *ontology.Ontology, target, candidate *module.Module, mode Mode) (Mapping, bool) {
-	inOK := func(t, c module.Parameter) bool {
-		if !t.Struct.Equal(c.Struct) {
-			return false
-		}
-		if mode == ModeExact {
-			return t.Semantic == c.Semantic
-		}
-		// Relaxed: the candidate must accept at least everything the target
-		// accepts.
-		return ont.Subsumes(c.Semantic, t.Semantic)
+	return mapParametersInto(nil, ont, target, candidate, mode)
+}
+
+// mappingSlot is reusable scratch for one derived Mapping: the assignment
+// maps, the optional-input set and the backtracking used-vector. A warm
+// matrix sweep re-derives a mapping per cell; with a slot the derivation
+// allocates nothing. The Mapping returned against a slot aliases the
+// slot's maps and is valid only until the slot's next use — callers that
+// keep a mapping (the matrix keeps none; Result.Mapping holds the alias
+// only within a cell's computation) must clone it.
+type mappingSlot struct {
+	ins  map[string]string
+	outs map[string]string
+	opt  map[string]bool
+	used []bool
+}
+
+func (sl *mappingSlot) reset(nTo int) {
+	if sl.ins == nil {
+		sl.ins = make(map[string]string, 4)
+		sl.outs = make(map[string]string, 4)
+		sl.opt = make(map[string]bool, 4)
 	}
-	outOK := func(t, c module.Parameter) bool {
-		if !t.Struct.Equal(c.Struct) {
-			return false
-		}
-		if mode == ModeExact {
-			return t.Semantic == c.Semantic
-		}
-		return ont.Subsumes(c.Semantic, t.Semantic) || ont.Subsumes(t.Semantic, c.Semantic)
+	clear(sl.ins)
+	clear(sl.outs)
+	clear(sl.opt)
+	if cap(sl.used) < nTo {
+		sl.used = make([]bool, nTo)
 	}
-	ins, ok := bijection(requiredInputs(target), candidate.Inputs, inOK, optionalSet(candidate))
-	if !ok {
+	sl.used = sl.used[:nTo]
+	for i := range sl.used {
+		sl.used[i] = false
+	}
+}
+
+// mapParametersInto is MapParameters with caller-owned scratch; a nil
+// slot allocates fresh maps (identical to MapParameters).
+func mapParametersInto(sl *mappingSlot, ont *ontology.Ontology, target, candidate *module.Module, mode Mode) (Mapping, bool) {
+	// Counting prechecks before any allocation: inputs need an injection
+	// (target inputs ≤ candidate inputs) and outputs an exact cover, so a
+	// candidate infeasible on arity alone is rejected for free. Most
+	// candidates in an unindexed sweep die here.
+	if len(target.Inputs) > len(candidate.Inputs) || len(target.Outputs) != len(candidate.Outputs) {
 		return Mapping{}, false
 	}
-	outs, ok := bijection(target.Outputs, candidate.Outputs, outOK, nil)
-	if !ok {
+	var ins, outs map[string]string
+	var opt map[string]bool
+	var used []bool
+	nTo := len(candidate.Inputs)
+	if len(candidate.Outputs) > nTo {
+		nTo = len(candidate.Outputs)
+	}
+	if sl != nil {
+		sl.reset(nTo)
+		ins, outs, opt, used = sl.ins, sl.outs, sl.opt, sl.used
+	} else {
+		ins = make(map[string]string, len(target.Inputs))
+		used = make([]bool, nTo)
+		// outs is allocated only if the input bijection succeeds; opt only
+		// if the candidate has optional inputs (a nil skippable set is
+		// equivalent to an empty one — an unmatched candidate input fails
+		// either way, and with equal arities none can be unmatched).
+	}
+	for _, p := range candidate.Inputs {
+		if p.Optional {
+			if opt == nil {
+				opt = map[string]bool{}
+			}
+			opt[p.Name] = true
+		}
+	}
+	inPC := paramCompat{ont: ont, mode: mode, output: false}
+	if !bijection(ins, used[:len(candidate.Inputs)], requiredInputs(target), candidate.Inputs, inPC, opt) {
+		return Mapping{}, false
+	}
+	if outs == nil {
+		outs = make(map[string]string, len(target.Outputs))
+	}
+	for i := range used {
+		used[i] = false
+	}
+	outPC := paramCompat{ont: ont, mode: mode, output: true}
+	if !bijection(outs, used[:len(candidate.Outputs)], target.Outputs, candidate.Outputs, outPC, nil) {
 		return Mapping{}, false
 	}
 	return Mapping{Inputs: ins, Outputs: outs}, true
@@ -103,57 +160,67 @@ func MapParameters(ont *ontology.Ontology, target, candidate *module.Module, mod
 // they participate in the mapping too.)
 func requiredInputs(m *module.Module) []module.Parameter { return m.Inputs }
 
-func optionalSet(m *module.Module) map[string]bool {
-	opt := map[string]bool{}
-	for _, p := range m.Inputs {
-		if p.Optional {
-			opt[p.Name] = true
-		}
+// paramCompat decides whether a target parameter may map onto a candidate
+// parameter. A plain struct (not a closure) so a mapping derivation in
+// the matrix hot loop captures nothing on the heap.
+type paramCompat struct {
+	ont    *ontology.Ontology
+	mode   Mode
+	output bool
+}
+
+func (pc paramCompat) ok(t, c module.Parameter) bool {
+	if !t.Struct.Equal(c.Struct) {
+		return false
 	}
-	return opt
+	if pc.mode == ModeExact {
+		return t.Semantic == c.Semantic
+	}
+	if pc.output {
+		return pc.ont.Subsumes(c.Semantic, t.Semantic) || pc.ont.Subsumes(t.Semantic, c.Semantic)
+	}
+	// Relaxed input: the candidate must accept at least everything the
+	// target accepts.
+	return pc.ont.Subsumes(c.Semantic, t.Semantic)
 }
 
 // bijection finds an injective mapping covering every parameter in `from`
-// onto distinct parameters in `to` satisfying ok. Parameters of `to` left
-// unmatched are permitted only when listed in skippable (optional
-// candidate inputs). Backtracking search — parameter lists are tiny.
-func bijection(from, to []module.Parameter, ok func(a, b module.Parameter) bool, skippable map[string]bool) (map[string]string, bool) {
+// onto distinct parameters in `to` satisfying pc, recording it in assign.
+// Parameters of `to` left unmatched are permitted only when listed in
+// skippable (optional candidate inputs). Backtracking search — parameter
+// lists are tiny. used must have len(to) entries, all false.
+func bijection(assign map[string]string, used []bool, from, to []module.Parameter, pc paramCompat, skippable map[string]bool) bool {
 	if len(from) > len(to) {
-		return nil, false
-	}
-	used := make([]bool, len(to))
-	assign := make(map[string]string, len(from))
-	var rec func(i int) bool
-	rec = func(i int) bool {
-		if i == len(from) {
-			// All target parameters mapped; any unmapped candidate parameter
-			// must be skippable.
-			for j, u := range used {
-				if !u && skippable != nil && !skippable[to[j].Name] {
-					return false
-				}
-				if !u && skippable == nil && len(from) != len(to) {
-					return false
-				}
-			}
-			return true
-		}
-		for j := range to {
-			if used[j] || !ok(from[i], to[j]) {
-				continue
-			}
-			used[j] = true
-			assign[from[i].Name] = to[j].Name
-			if rec(i + 1) {
-				return true
-			}
-			used[j] = false
-			delete(assign, from[i].Name)
-		}
 		return false
 	}
-	if !rec(0) {
-		return nil, false
+	return bijectRec(assign, used, from, to, pc, skippable, 0)
+}
+
+func bijectRec(assign map[string]string, used []bool, from, to []module.Parameter, pc paramCompat, skippable map[string]bool, i int) bool {
+	if i == len(from) {
+		// All target parameters mapped; any unmapped candidate parameter
+		// must be skippable.
+		for j, u := range used {
+			if !u && skippable != nil && !skippable[to[j].Name] {
+				return false
+			}
+			if !u && skippable == nil && len(from) != len(to) {
+				return false
+			}
+		}
+		return true
 	}
-	return assign, true
+	for j := range to {
+		if used[j] || !pc.ok(from[i], to[j]) {
+			continue
+		}
+		used[j] = true
+		assign[from[i].Name] = to[j].Name
+		if bijectRec(assign, used, from, to, pc, skippable, i+1) {
+			return true
+		}
+		used[j] = false
+		delete(assign, from[i].Name)
+	}
+	return false
 }

@@ -20,6 +20,12 @@ import (
 // excluded from the pair sweep.
 type SetSource func(id string) (set dataexample.Set, ok bool)
 
+// KeyedSource yields the key-interned example set annotating one module.
+// Sources that key (and intern) once per store write — *store.Store via
+// GetKeyed — let every matrix build skip canonicalisation entirely; the
+// sweep then compares interned symbol IDs end to end.
+type KeyedSource func(id string) (set *dataexample.KeyedSet, ok bool)
+
 // MatrixCell is one non-incomparable verdict of the all-pairs sweep.
 type MatrixCell struct {
 	Target    string  `json:"target"`
@@ -59,16 +65,103 @@ type MatchMatrix struct {
 	Stats   MatrixStats  `json:"stats"`
 }
 
-// matrixSets is the resolved input of a matrix build.
-type matrixSets struct {
-	ids   []string // modules with example sets, sorted
-	sigs  map[string]*module.Module
-	keyed map[string]*dataexample.KeyedSet
+// cell is one ordered-pair outcome in the dense n×n grid a build fills.
+// The provenance flags (pruned/aligned/mirrored) are kept per cell so the
+// stats can be re-assembled from any grid — full build or incremental
+// patch — without replaying the sweep.
+type cell struct {
+	verdict  Verdict
+	score    float64
+	compared int
+	agreeing int
+	pruned   bool
+	mirrored bool
+	aligned  bool // an example alignment actually ran for this direction
 }
+
+// matrixInputs is the resolved, sorted input of a matrix build: parallel
+// columns over the deduped module IDs that have example sets.
+type matrixInputs struct {
+	ids     []string
+	sigs    []*module.Module
+	keyed   []*dataexample.KeyedSet
+	missing []string
+}
+
+func resolveMatrixInputs(mods []*module.Module, source KeyedSource) matrixInputs {
+	var in matrixInputs
+	seen := make(map[string]bool, len(mods))
+	for _, m := range mods {
+		if m == nil || seen[m.ID] {
+			continue
+		}
+		seen[m.ID] = true
+		set, ok := source(m.ID)
+		if !ok {
+			in.missing = append(in.missing, m.ID)
+			continue
+		}
+		in.ids = append(in.ids, m.ID)
+		in.sigs = append(in.sigs, m)
+		in.keyed = append(in.keyed, set)
+	}
+	// Sort the three columns together by module ID.
+	sort.Sort(byMatrixID{&in})
+	sort.Strings(in.missing)
+	return in
+}
+
+// byMatrixID sorts a matrixInputs' parallel columns by module ID.
+type byMatrixID struct{ in *matrixInputs }
+
+func (s byMatrixID) Len() int           { return len(s.in.ids) }
+func (s byMatrixID) Less(i, j int) bool { return s.in.ids[i] < s.in.ids[j] }
+func (s byMatrixID) Swap(i, j int) {
+	s.in.ids[i], s.in.ids[j] = s.in.ids[j], s.in.ids[i]
+	s.in.sigs[i], s.in.sigs[j] = s.in.sigs[j], s.in.sigs[i]
+	s.in.keyed[i], s.in.keyed[j] = s.in.keyed[j], s.in.keyed[i]
+}
+
+func (in *matrixInputs) rank() map[string]int {
+	r := make(map[string]int, len(in.ids))
+	for i, id := range in.ids {
+		r[id] = i
+	}
+	return r
+}
+
+// matrixScratch is one worker's arena: comparison buffers and two live
+// mapping slots (exact-mode mirroring checks mappingsInverse(fwd, rev),
+// so both directions' derivations must be alive at once).
+type matrixScratch struct {
+	cmp CompareScratch
+	fwd mappingSlot
+	rev mappingSlot
+}
+
+// pruneFunc reports whether the index prunes the ordered direction
+// (target index, candidate index) before any mapping or alignment.
+type pruneFunc func(ti, ci int) bool
 
 // MatchMatrixFromSets materialises the all-pairs verdict map over the
 // given modules, reading each module's example set from sets (the store,
-// a generation cache, …). The sweep is pure set alignment — no module is
+// a generation cache, …) and keying it into a build-local symbol table.
+// Prefer MatchMatrixFromKeyedSets with pre-interned sets when the caller
+// keeps them — a serving layer, say — so repeated builds skip the
+// canonicalisation pass entirely.
+func (c *Comparer) MatchMatrixFromSets(ctx context.Context, mods []*module.Module, sets SetSource) (*MatchMatrix, error) {
+	tab := dataexample.NewSymbolTable()
+	return c.MatchMatrixFromKeyedSets(ctx, mods, func(id string) (*dataexample.KeyedSet, bool) {
+		set, ok := sets(id)
+		if !ok {
+			return nil, false
+		}
+		return set.KeyedInterned(tab), true
+	})
+}
+
+// MatchMatrixFromKeyedSets materialises the all-pairs verdict map over
+// pre-keyed example sets. The sweep is pure set alignment — no module is
 // invoked — so it runs over stored annotations of retired modules just
 // as well as fresh ones.
 //
@@ -84,152 +177,183 @@ type matrixSets struct {
 //
 // When the Comparer carries a CatalogIndex, each target's feasibility
 // query prunes the infeasible candidate row before any alignment.
-func (c *Comparer) MatchMatrixFromSets(ctx context.Context, mods []*module.Module, sets SetSource) (*MatchMatrix, error) {
+func (c *Comparer) MatchMatrixFromKeyedSets(ctx context.Context, mods []*module.Module, source KeyedSource) (*MatchMatrix, error) {
 	_, span := telemetry.StartSpan(ctx, "match.matrix")
 	defer span.End()
 	met := newMatchMetrics(c.Metrics)
 
-	in := matrixSets{sigs: map[string]*module.Module{}, keyed: map[string]*dataexample.KeyedSet{}}
-	var missing []string
-	seen := map[string]bool{}
-	for _, m := range mods {
-		if m == nil || seen[m.ID] {
-			continue
-		}
-		seen[m.ID] = true
-		set, ok := sets(m.ID)
-		if !ok {
-			missing = append(missing, m.ID)
-			continue
-		}
-		in.sigs[m.ID] = m
-		in.keyed[m.ID] = set.Keyed()
-		in.ids = append(in.ids, m.ID)
-	}
-	sort.Strings(in.ids)
-	sort.Strings(missing)
+	in := resolveMatrixInputs(mods, source)
 	n := len(in.ids)
-
 	mm := &MatchMatrix{
 		Mode:    c.Mode.String(),
 		Modules: in.ids,
-		Missing: missing,
+		Missing: in.missing,
 		Cells:   []MatrixCell{},
 		Stats:   MatrixStats{Modules: n, Pairs: n * (n - 1)},
 	}
 	if n < 2 {
 		return mm, ctx.Err()
 	}
+	grid, err := c.buildGrid(ctx, &in, &met)
+	if err != nil {
+		return nil, err
+	}
+	assembleMatrix(mm, &in, grid)
+	met.comparisons.Add(uint64(mm.Stats.Compared))
+	met.pruned.Add(uint64(mm.Stats.Pruned))
+	span.Annotate("modules", strconv.Itoa(n))
+	span.Annotate("pairs", strconv.Itoa(mm.Stats.Pairs))
+	span.Annotate("pruned", strconv.Itoa(mm.Stats.Pruned))
+	span.Annotate("compared", strconv.Itoa(mm.Stats.Compared))
+	span.Annotate("mirrored", strconv.Itoa(mm.Stats.Mirrored))
+	return mm, nil
+}
 
-	// Feasibility rows, one per target, shared by both directions.
-	feas := make([]*Feasibility, n)
+// buildGrid runs the full sweep: per-target feasibility rows, then every
+// unordered pair.
+func (c *Comparer) buildGrid(ctx context.Context, in *matrixInputs, met *matchMetrics) ([]cell, error) {
+	n := len(in.ids)
+	var feas []*Feasibility
 	if c.Index != nil {
-		for i, id := range in.ids {
-			feas[i] = c.Index.Feasibility(in.sigs[id], c.Mode)
+		feas = make([]*Feasibility, n)
+		for i := range in.ids {
+			feas[i] = c.Index.Feasibility(in.sigs[i], c.Mode)
 		}
 	}
+	prune := func(ti, ci int) bool {
+		if feas == nil {
+			return false
+		}
+		return feas[ti].Prunes(in.ids[ci])
+	}
+	grid := make([]cell, n*n)
+	if err := c.sweepGrid(ctx, in, grid, prune, nil, met); err != nil {
+		return nil, err
+	}
+	return grid, nil
+}
 
-	// Work items: unordered pairs a<b; each item settles both directions.
-	type item struct{ a, b int }
-	items := make([]item, 0, n*(n-1)/2)
-	for a := 0; a < n; a++ {
-		for b := a + 1; b < n; b++ {
-			items = append(items, item{a, b})
-		}
-	}
-	type cellRes struct {
-		verdict  Verdict
-		score    float64
-		compared int
-		agreeing int
-		pruned   bool
-		mirrored bool
-		aligned  bool // an example alignment actually ran for this direction
-	}
-	results := make([][2]cellRes, len(items)) // [0] = a→b, [1] = b→a
-
-	// direction computes one ordered cell, optionally reusing a known
-	// mapping instead of re-deriving it.
-	direction := func(ti, ci int, mapping Mapping, haveMapping bool) cellRes {
-		tid, cid := in.ids[ti], in.ids[ci]
-		if feas[ti].Prunes(cid) {
-			return cellRes{verdict: Incomparable, pruned: true}
-		}
-		if !haveMapping {
-			var ok bool
-			mapping, ok = MapParameters(c.Ont, in.sigs[tid], in.sigs[cid], c.Mode)
-			if !ok {
-				return cellRes{verdict: Incomparable}
-			}
-		}
-		start := time.Now()
-		res := CompareKeyedSets(tid, cid, in.keyed[tid], in.keyed[cid], mapping)
-		met.matrixCells.Observe(time.Since(start).Seconds())
-		return cellRes{verdict: res.Verdict, score: res.Score(), compared: res.Compared, agreeing: res.Agreeing, aligned: true}
-	}
-	work := func(it item) [2]cellRes {
-		a, b := it.a, it.b
-		var out [2]cellRes
-		if c.Mode == ModeExact {
-			fwd, fok := c.mapUnlessPruned(in, feas, a, b)
-			rev, rok := c.mapUnlessPruned(in, feas, b, a)
-			if fok && rok && mappingsInverse(fwd, rev) &&
-				in.keyed[in.ids[a]].UniqueInputs() && in.keyed[in.ids[b]].UniqueInputs() {
-				out[0] = direction(a, b, fwd, true)
-				out[1] = out[0]
-				out[1].aligned = false
-				out[1].mirrored = true
-				return out
-			}
-		}
-		out[0] = direction(a, b, Mapping{}, false)
-		out[1] = direction(b, a, Mapping{}, false)
-		return out
-	}
-
+// sweepGrid computes every unordered pair a<b for which need(a, b) holds
+// (nil means all), writing both ordered cells of each pair directly into
+// the dense grid. Workers claim rows through an atomic counter and carry
+// their own scratch, so a warm sweep allocates nothing per cell.
+func (c *Comparer) sweepGrid(ctx context.Context, in *matrixInputs, grid []cell, prune pruneFunc, need func(a, b int) bool, met *matchMetrics) error {
+	n := len(in.ids)
 	workers := c.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(items) {
-		workers = len(items)
+	if workers > n-1 {
+		workers = n - 1
 	}
 	if workers <= 1 {
-		for k, it := range items {
+		var sc matrixScratch
+		for a := 0; a < n-1; a++ {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return err
 			}
-			results[k] = work(it)
-		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					k := int(next.Add(1)) - 1
-					if k >= len(items) || ctx.Err() != nil {
-						return
-					}
-					results[k] = work(items[k])
+			for b := a + 1; b < n; b++ {
+				if need != nil && !need(a, b) {
+					continue
 				}
-			}()
+				c.computePair(in, grid, a, b, prune, &sc, met)
+			}
 		}
-		wg.Wait()
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
+		return nil
 	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sc matrixScratch
+			for {
+				a := int(next.Add(1)) - 1
+				if a >= n-1 || ctx.Err() != nil {
+					return
+				}
+				for b := a + 1; b < n; b++ {
+					if need != nil && !need(a, b) {
+						continue
+					}
+					c.computePair(in, grid, a, b, prune, &sc, met)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
 
-	// Deterministic assembly: results indexed back into a dense grid,
-	// then emitted row-major by (target, candidate).
-	grid := make([]cellRes, n*n)
-	for k, it := range items {
-		grid[it.a*n+it.b] = results[k][0]
-		grid[it.b*n+it.a] = results[k][1]
+// computePair settles both ordered directions of the unordered pair
+// (a, b), writing grid[a*n+b] and grid[b*n+a]. Workers own disjoint rows
+// a and each pair is computed exactly once, so the writes never race.
+func (c *Comparer) computePair(in *matrixInputs, grid []cell, a, b int, prune pruneFunc, sc *matrixScratch, met *matchMetrics) {
+	n := len(in.ids)
+	if c.Mode == ModeExact {
+		fwd, fok := c.pairMapping(in, a, b, prune, &sc.fwd)
+		rev, rok := c.pairMapping(in, b, a, prune, &sc.rev)
+		if fok && rok && mappingsInverse(fwd, rev) &&
+			in.keyed[a].UniqueInputs() && in.keyed[b].UniqueInputs() {
+			out := c.alignCell(in, a, b, fwd, sc, met)
+			grid[a*n+b] = out
+			out.aligned = false
+			out.mirrored = true
+			grid[b*n+a] = out
+			return
+		}
+		grid[a*n+b] = c.directionCell(in, a, b, fwd, fok, prune, sc, met)
+		grid[b*n+a] = c.directionCell(in, b, a, rev, rok, prune, sc, met)
+		return
 	}
+	fwd, fok := c.pairMapping(in, a, b, prune, &sc.fwd)
+	rev, rok := c.pairMapping(in, b, a, prune, &sc.rev)
+	grid[a*n+b] = c.directionCell(in, a, b, fwd, fok, prune, sc, met)
+	grid[b*n+a] = c.directionCell(in, b, a, rev, rok, prune, sc, met)
+}
+
+// pairMapping resolves the mapping for the ordered direction (ti, ci)
+// into the given slot, unless the index already pruned it.
+func (c *Comparer) pairMapping(in *matrixInputs, ti, ci int, prune pruneFunc, sl *mappingSlot) (Mapping, bool) {
+	if prune(ti, ci) {
+		return Mapping{}, false
+	}
+	return mapParametersInto(sl, c.Ont, in.sigs[ti], in.sigs[ci], c.Mode)
+}
+
+// directionCell turns a resolved (or failed) mapping into one ordered
+// cell. The pruned flag is re-derived rather than threaded through so a
+// failed mapping and a pruned direction stay distinguishable in stats.
+func (c *Comparer) directionCell(in *matrixInputs, ti, ci int, mapping Mapping, ok bool, prune pruneFunc, sc *matrixScratch, met *matchMetrics) cell {
+	if prune(ti, ci) {
+		return cell{verdict: Incomparable, pruned: true}
+	}
+	if !ok {
+		return cell{verdict: Incomparable}
+	}
+	return c.alignCell(in, ti, ci, mapping, sc, met)
+}
+
+// alignCell runs the example alignment for one ordered direction.
+func (c *Comparer) alignCell(in *matrixInputs, ti, ci int, mapping Mapping, sc *matrixScratch, met *matchMetrics) cell {
+	start := time.Now()
+	res := CompareKeyedSetsScratch(&sc.cmp, in.ids[ti], in.ids[ci], in.keyed[ti], in.keyed[ci], mapping)
+	met.matrixCells.Observe(time.Since(start).Seconds())
+	return cell{verdict: res.Verdict, score: res.Score(), compared: res.Compared, agreeing: res.Agreeing, aligned: true}
+}
+
+// assembleMatrix emits the grid row-major by (target, candidate) and
+// derives the stats from the per-cell provenance flags.
+func assembleMatrix(mm *MatchMatrix, in *matrixInputs, grid []cell) {
+	n := len(in.ids)
+	count := 0
+	for i := range grid {
+		if i/n != i%n && grid[i].verdict != Incomparable {
+			count++
+		}
+	}
+	mm.Cells = make([]MatrixCell, 0, count)
 	for a := 0; a < n; a++ {
 		for b := 0; b < n; b++ {
 			if a == b {
@@ -265,23 +389,6 @@ func (c *Comparer) MatchMatrixFromSets(ctx context.Context, mods []*module.Modul
 			})
 		}
 	}
-	met.comparisons.Add(uint64(mm.Stats.Compared))
-	met.pruned.Add(uint64(mm.Stats.Pruned))
-	span.Annotate("modules", strconv.Itoa(n))
-	span.Annotate("pairs", strconv.Itoa(mm.Stats.Pairs))
-	span.Annotate("pruned", strconv.Itoa(mm.Stats.Pruned))
-	span.Annotate("compared", strconv.Itoa(mm.Stats.Compared))
-	span.Annotate("mirrored", strconv.Itoa(mm.Stats.Mirrored))
-	return mm, nil
-}
-
-// mapUnlessPruned resolves the mapping for the ordered direction unless
-// the index already pruned it.
-func (c *Comparer) mapUnlessPruned(in matrixSets, feas []*Feasibility, ti, ci int) (Mapping, bool) {
-	if feas[ti].Prunes(in.ids[ci]) {
-		return Mapping{}, false
-	}
-	return MapParameters(c.Ont, in.sigs[in.ids[ti]], in.sigs[in.ids[ci]], c.Mode)
 }
 
 // mappingsInverse reports whether b is exactly the inverse of a on both

@@ -3,6 +3,7 @@ package serve
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -22,16 +23,21 @@ type matchesResponse struct {
 }
 
 // matrixCache memoizes the last all-pairs matrix build together with the
-// catalog state it reflects. The state key folds every registered
-// module's stored-set content hash (and the signature index generation,
-// when one is wired), so any annotation change — or an index
-// Update/Remove after a signature change — produces a different key and
-// forces a rebuild; an unchanged catalog serves the cached matrix and
-// lets If-None-Match answer 304 without recomputation.
+// catalog state it reflects and its encoded response bytes. The state
+// key folds every registered module's stored-set content hash (and the
+// signature index generation, when one is wired), so any annotation
+// change — or an index Update/Remove after a signature change — produces
+// a different key and forces a rebuild; an unchanged catalog serves the
+// cached bytes verbatim (no re-serialisation per request) and lets
+// If-None-Match answer 304 without recomputation. Rebuilds run through
+// an IncrementalMatrix, so a changed catalog pays only for the rows and
+// columns of the modules that actually changed, not a full sweep.
 type matrixCache struct {
 	mu     sync.Mutex
 	state  string
 	matrix *match.MatchMatrix
+	body   []byte
+	inc    *match.IncrementalMatrix
 }
 
 // subsEntry is one warmed substitute search: the full (unlimited)
@@ -129,19 +135,41 @@ func (s *Server) handleMatches(w http.ResponseWriter, r *http.Request) {
 	s.matrix.mu.Lock()
 	defer s.matrix.mu.Unlock()
 	if s.matrix.matrix == nil || s.matrix.state != state {
-		storedSet := func(id string) (dataexample.Set, bool) {
-			set, _, ok := s.Store.Get(id)
+		if s.matrix.inc == nil {
+			s.matrix.inc = match.NewIncrementalMatrix(s.Comparer)
+		}
+		keyedSet := func(id string) (*dataexample.KeyedSet, bool) {
+			set, _, ok := s.Store.GetKeyed(id)
 			return set, ok
 		}
-		mm, err := s.Comparer.MatchMatrixFromSets(r.Context(), s.Registry.Modules(), storedSet)
+		mm, err := s.matrix.inc.Matrix(r.Context(), s.Registry.Modules(), keyedSet)
 		if err != nil {
 			writeError(w, http.StatusBadGateway, "building match matrix: %v", err)
 			return
 		}
+		body, err := encodeJSONBody(matchesResponse{State: state, Matrix: mm})
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "encoding match matrix: %v", err)
+			return
+		}
 		s.matrix.state = state
 		s.matrix.matrix = mm
+		s.matrix.body = body
 	}
-	writeJSON(w, http.StatusOK, matchesResponse{State: s.matrix.state, Matrix: s.matrix.matrix})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(s.matrix.body)
+}
+
+// encodeJSONBody renders v exactly as writeJSON does (two-space indent,
+// trailing newline, HTML-escaped), so cached bytes are indistinguishable
+// from a per-request encode.
+func encodeJSONBody(v any) ([]byte, error) {
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
 }
 
 // warmedSubstitutes returns the cached substitute search for the target

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
@@ -93,30 +94,132 @@ func writeSnapshot(path string, doc snapshotDoc) error {
 	return nil
 }
 
-// readSnapshot loads and verifies a snapshot. A missing file yields an
-// empty document; a damaged one is a hard error — the snapshot is the
-// compacted history and silently dropping it would silently lose data.
-func readSnapshot(path string) (snapshotDoc, error) {
-	data, err := os.ReadFile(path)
+// loadSnapshot streams the snapshot document at path, invoking onRecord
+// for every record as it is decoded — the caller indexes (and interns)
+// each record immediately, so hydration makes one pass over the file
+// instead of materialising the whole document and walking it again. The
+// CRC is accumulated incrementally from each record's canonical compact
+// re-encoding (byte-identical to recordsCRC over the full array, since
+// Example marshalling is deterministic) and verified against the
+// document's crc field after the final record; field order in the
+// document is immaterial because verification waits for EOF.
+//
+// A missing file yields seq 0 and no records; a damaged one is a hard
+// error — the snapshot is the compacted history and silently dropping it
+// would silently lose data.
+func loadSnapshot(path string, onRecord func(*snapshotRecord)) (seq uint64, err error) {
+	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return snapshotDoc{Version: snapshotVersion}, nil
+		return 0, nil
 	}
 	if err != nil {
-		return snapshotDoc{}, fmt.Errorf("store: reading snapshot: %w", err)
+		return 0, fmt.Errorf("store: reading snapshot: %w", err)
 	}
-	var doc snapshotDoc
-	if err := json.Unmarshal(data, &doc); err != nil {
-		return snapshotDoc{}, fmt.Errorf("store: decoding snapshot %s: %w", path, err)
+	defer f.Close()
+
+	dec := json.NewDecoder(bufio.NewReaderSize(f, 1<<20))
+	if tok, err := dec.Token(); err != nil || tok != json.Delim('{') {
+		return 0, fmt.Errorf("store: decoding snapshot %s: expected object, got %v (%v)", path, tok, err)
 	}
-	if doc.Version != snapshotVersion {
-		return snapshotDoc{}, fmt.Errorf("store: snapshot %s has unsupported version %d", path, doc.Version)
+	var (
+		version    = -1
+		wantCRC    string
+		haveCRC    = false
+		crc        = crc32.NewIEEE()
+		sawRecords = false
+	)
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return 0, fmt.Errorf("store: decoding snapshot %s: %w", path, err)
+		}
+		key, _ := keyTok.(string)
+		switch key {
+		case "version":
+			if err := dec.Decode(&version); err != nil {
+				return 0, fmt.Errorf("store: decoding snapshot %s version: %w", path, err)
+			}
+		case "seq":
+			if err := dec.Decode(&seq); err != nil {
+				return 0, fmt.Errorf("store: decoding snapshot %s seq: %w", path, err)
+			}
+		case "crc":
+			if err := dec.Decode(&wantCRC); err != nil {
+				return 0, fmt.Errorf("store: decoding snapshot %s crc: %w", path, err)
+			}
+			haveCRC = true
+		case "records":
+			tok, err := dec.Token()
+			if err != nil {
+				return 0, fmt.Errorf("store: decoding snapshot %s records: %w", path, err)
+			}
+			if tok == nil {
+				// A snapshot of an empty store encodes records as null; its
+				// CRC covers the canonical empty array.
+				crc.Write([]byte("[]"))
+				sawRecords = true
+				break
+			}
+			if tok != json.Delim('[') {
+				return 0, fmt.Errorf("store: decoding snapshot %s: records is %v, want array", path, tok)
+			}
+			crc.Write([]byte{'['})
+			first := true
+			for dec.More() {
+				var rec snapshotRecord
+				if err := dec.Decode(&rec); err != nil {
+					return 0, fmt.Errorf("store: decoding snapshot %s record: %w", path, err)
+				}
+				if !first {
+					crc.Write([]byte{','})
+				}
+				first = false
+				canon, err := json.Marshal(rec)
+				if err != nil {
+					return 0, fmt.Errorf("store: re-encoding snapshot record %s: %w", rec.Module, err)
+				}
+				crc.Write(canon)
+				onRecord(&rec)
+			}
+			if tok, err := dec.Token(); err != nil || tok != json.Delim(']') {
+				return 0, fmt.Errorf("store: decoding snapshot %s: unterminated records array (%v)", path, err)
+			}
+			crc.Write([]byte{']'})
+			sawRecords = true
+		default:
+			var skip json.RawMessage
+			if err := dec.Decode(&skip); err != nil {
+				return 0, fmt.Errorf("store: decoding snapshot %s field %q: %w", path, key, err)
+			}
+		}
 	}
-	crc, err := recordsCRC(doc.Records)
+	if tok, err := dec.Token(); err != nil || tok != json.Delim('}') {
+		return 0, fmt.Errorf("store: decoding snapshot %s: unterminated document (%v)", path, err)
+	}
+	if version != snapshotVersion {
+		return 0, fmt.Errorf("store: snapshot %s has unsupported version %d", path, version)
+	}
+	if !sawRecords {
+		crc.Write([]byte("[]"))
+	}
+	got := fmt.Sprintf("%08x", crc.Sum32())
+	if !haveCRC || got != wantCRC {
+		return 0, fmt.Errorf("store: snapshot %s checksum mismatch (have %s, want %s)", path, got, wantCRC)
+	}
+	return seq, nil
+}
+
+// readSnapshot loads and verifies a snapshot into one document — the
+// non-streaming convenience over loadSnapshot, kept for callers that
+// want the whole array (tests, tooling).
+func readSnapshot(path string) (snapshotDoc, error) {
+	doc := snapshotDoc{Version: snapshotVersion}
+	seq, err := loadSnapshot(path, func(rec *snapshotRecord) {
+		doc.Records = append(doc.Records, *rec)
+	})
 	if err != nil {
 		return snapshotDoc{}, err
 	}
-	if crc != doc.CRC {
-		return snapshotDoc{}, fmt.Errorf("store: snapshot %s checksum mismatch (have %s, want %s)", path, crc, doc.CRC)
-	}
+	doc.Seq = seq
 	return doc, nil
 }

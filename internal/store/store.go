@@ -88,9 +88,13 @@ func newStoreMetrics(r *telemetry.Registry) storeMetrics {
 	}
 }
 
-// record is the live index entry for one module.
+// record is the live index entry for one module. keyed is the
+// canonicalised, symbol-interned view of set, built exactly once — at
+// Put, WAL replay or snapshot hydration — so matching sweeps read
+// pre-interned columns and never re-canonicalise stored examples.
 type record struct {
 	set     dataexample.Set
+	keyed   *dataexample.KeyedSet
 	hash    string
 	version uint64
 	seq     uint64
@@ -109,6 +113,11 @@ type Store struct {
 	opts Options
 
 	shards [numShards]shard
+
+	// symtab interns every stored set's canonical keys into one shared
+	// table, so keyed sets from different modules compare by symbol ID.
+	// Interning is concurrency-safe; see dataexample.SymbolTable.
+	symtab *dataexample.SymbolTable
 
 	// logMu serializes mutations: WAL append, sequence assignment, index
 	// update, snapshot, and compaction all happen under it.
@@ -130,7 +139,7 @@ type Store struct {
 // Open opens (or creates) a store rooted at dir. With dir == "" the
 // store is memory-only: fully functional, nothing persisted.
 func Open(dir string, opts Options) (*Store, error) {
-	s := &Store{dir: dir, opts: opts, met: newStoreMetrics(opts.Metrics)}
+	s := &Store{dir: dir, opts: opts, symtab: dataexample.NewSymbolTable(), met: newStoreMetrics(opts.Metrics)}
 	for i := range s.shards {
 		s.shards[i].recs = make(map[string]*record)
 	}
@@ -142,16 +151,24 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
 	}
 
-	snap, err := readSnapshot(filepath.Join(dir, snapshotFileName))
+	// Stream the snapshot: each record is decoded, keyed and interned in
+	// one pass, so startup never materialises the whole document and the
+	// canonicalisation work is already done when serving begins.
+	snapSeq, err := loadSnapshot(filepath.Join(dir, snapshotFileName), func(rec *snapshotRecord) {
+		sh := s.shard(rec.Module)
+		sh.recs[rec.Module] = &record{
+			set:     rec.Examples,
+			keyed:   rec.Examples.KeyedInterned(s.symtab),
+			hash:    rec.Hash,
+			version: rec.Version,
+			seq:     rec.Seq,
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
-	for _, rec := range snap.Records {
-		sh := s.shard(rec.Module)
-		sh.recs[rec.Module] = &record{set: rec.Examples, hash: rec.Hash, version: rec.Version, seq: rec.Seq}
-	}
-	s.seq = snap.Seq
-	s.snapSeq = snap.Seq
+	s.seq = snapSeq
+	s.snapSeq = snapSeq
 
 	walPath := filepath.Join(dir, walFileName)
 	recs, goodSize, truncatedAt, err := replayWAL(walPath)
@@ -218,7 +235,7 @@ func (s *Store) apply(rec walRecord) {
 		if old != nil {
 			ver = old.version + 1
 		}
-		sh.recs[rec.Module] = &record{set: rec.Examples, hash: rec.Hash, version: ver, seq: rec.Seq}
+		sh.recs[rec.Module] = &record{set: rec.Examples, keyed: rec.Examples.KeyedInterned(s.symtab), hash: rec.Hash, version: ver, seq: rec.Seq}
 	case opDelete:
 		delete(sh.recs, rec.Module)
 	}
@@ -260,6 +277,11 @@ func (s *Store) Put(id string, set dataexample.Set) (hash string, changed bool, 
 		s.putNoops.Add(1)
 		return h, false, nil
 	}
+	// Key and intern outside the writer lock: canonicalisation is the
+	// expensive part of a changed Put, and the symbol table is safe for
+	// parallel interning, so concurrent writers overlap here instead of
+	// queueing on logMu.
+	keyed := set.KeyedInterned(s.symtab)
 
 	s.logMu.Lock()
 	defer s.logMu.Unlock()
@@ -299,7 +321,7 @@ func (s *Store) Put(id string, set dataexample.Set) (hash string, changed bool, 
 	if old != nil {
 		ver = old.version + 1
 	}
-	sh.recs[id] = &record{set: set, hash: h, version: ver, seq: seq}
+	sh.recs[id] = &record{set: set, keyed: keyed, hash: h, version: ver, seq: seq}
 	sh.mu.Unlock()
 	s.puts.Add(1)
 
@@ -364,6 +386,30 @@ func (s *Store) Get(id string) (dataexample.Set, string, bool) {
 	return r.set, r.hash, true
 }
 
+// GetKeyed returns the stored example set in its keyed, symbol-interned
+// form, together with the content hash. The KeyedSet was built when the
+// record was written (Put, WAL replay or snapshot hydration) and is
+// immutable: one pointer per stored content, shared by every reader, so
+// matrix builds detect annotation changes by pointer inequality and
+// never re-canonicalise. All stored sets intern into the store's single
+// symbol table — two modules' keyed sets always share it.
+func (s *Store) GetKeyed(id string) (*dataexample.KeyedSet, string, bool) {
+	s.gets.Add(1)
+	sh := s.shard(id)
+	sh.mu.RLock()
+	r, ok := sh.recs[id]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, "", false
+	}
+	s.hits.Add(1)
+	return r.keyed, r.hash, true
+}
+
+// Symbols returns the store's shared symbol table (all stored sets
+// intern their canonical keys into it).
+func (s *Store) Symbols() *dataexample.SymbolTable { return s.symtab }
+
 // Hash returns just the content hash — the cheap change-detection probe.
 func (s *Store) Hash(id string) (string, bool) {
 	sh := s.shard(id)
@@ -421,6 +467,9 @@ type Stats struct {
 	Memory   bool   `json:"memory"`
 	Modules  int    `json:"modules"`
 	Examples int    `json:"examples"`
+	// Symbols is the number of distinct canonical keys interned in the
+	// store's shared symbol table.
+	Symbols int `json:"symbols"`
 
 	Seq         uint64 `json:"seq"`
 	SnapshotSeq uint64 `json:"snapshotSeq"`
@@ -443,6 +492,7 @@ func (s *Store) Stats() Stats {
 	st := Stats{
 		Dir:      s.dir,
 		Memory:   s.dir == "",
+		Symbols:  s.symtab.Len(),
 		Gets:     s.gets.Load(),
 		Hits:     s.hits.Load(),
 		Puts:     s.puts.Load(),
