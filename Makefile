@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race race-store race-match race-lifecycle race-columnar bench bench-smoke bench-overhead bench-match bench-columnar experiments
+.PHONY: ci vet build test race race-store race-match race-lifecycle race-columnar race-cluster cluster-smoke bench bench-smoke bench-overhead bench-match bench-columnar experiments
 
-ci: vet build race race-store race-match race-lifecycle race-columnar bench-smoke bench-overhead bench-match bench-columnar
+ci: vet build race race-store race-match race-lifecycle race-columnar race-cluster cluster-smoke bench-smoke bench-overhead bench-match bench-columnar
 
 vet:
 	$(GO) vet ./...
@@ -62,6 +62,23 @@ bench-columnar:
 # rebuilds racing index mutations.
 race-columnar:
 	$(GO) test -race -count=2 -run 'TestSymbolTable|TestStoreParallelPut|TestIncrementalMatrix' ./internal/dataexample/ ./internal/store/ ./internal/match/
+
+# Cluster concurrency: WAL feed long-pollers racing appends and drains,
+# follower tails racing leader truncation/reset, scatter-gather rounds
+# racing shard failures, and the store's replication cursor, with more
+# iterations than the catch-all race run gives them.
+race-cluster:
+	$(GO) test -race -count=2 ./internal/cluster/
+	$(GO) test -race -count=2 -run 'TestCluster|TestWatchDrain|TestReplication|TestTail|TestApplyReplicated|TestResetReplicated' ./internal/serve/ ./internal/store/
+
+# Serving-tier gate: the full 252-module catalog sharded three ways must
+# answer /matches and /substitutes byte-identically to a single-node
+# oracle, and dexa-load must produce a latency-percentile report from a
+# two-shard cluster on a tiny request budget. Gates results, not
+# timings — safe on any host.
+cluster-smoke:
+	$(GO) test -run TestClusterSmokeFullCatalog -count=1 ./internal/serve/
+	$(GO) test -run 'TestRun' -count=1 ./cmd/dexa-load/
 
 # Telemetry-overhead gate: generation with a live metrics registry must
 # stay within 5% of the no-op recorder. Remeasures once on failure to

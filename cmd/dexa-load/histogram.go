@@ -1,0 +1,104 @@
+package main
+
+// histogram is a fixed-bucket latency histogram in milliseconds. The
+// telemetry package's Histogram exposes only Count/Sum (enough for
+// Prometheus, whose server does the bucket math), so the load tool
+// carries its own buckets and interpolates percentiles client-side.
+type histogram struct {
+	bounds []float64 // upper bound of each bucket, ms, ascending
+	counts []uint64  // len(bounds)+1; last is the overflow bucket
+	count  uint64
+	sum    float64
+	max    float64
+}
+
+// histBounds spans 50µs to ~2 minutes in ~60 exponential steps — fine
+// enough that linear interpolation inside a bucket stays honest at
+// sub-millisecond latencies, wide enough to absorb timeout-bound tails.
+var histBounds = func() []float64 {
+	var b []float64
+	for v := 0.05; v < 130_000; v *= 1.35 {
+		b = append(b, v)
+	}
+	return b
+}()
+
+func newHistogram() *histogram {
+	return &histogram{
+		bounds: histBounds,
+		counts: make([]uint64, len(histBounds)+1),
+	}
+}
+
+func (h *histogram) observe(ms float64) {
+	h.count++
+	h.sum += ms
+	if ms > h.max {
+		h.max = ms
+	}
+	for i, b := range h.bounds {
+		if ms <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.counts)-1]++
+}
+
+func (h *histogram) merge(o *histogram) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// percentile returns the latency at quantile q (0 < q <= 1), linearly
+// interpolated within the bucket where the rank falls. Values beyond
+// the last bound clamp to the observed max.
+func (h *histogram) percentile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := q * float64(h.count)
+	var cum float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			if i == len(h.counts)-1 {
+				return h.max
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			if hi > h.max {
+				hi = h.max
+			}
+			frac := (rank - cum) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	return h.max
+}
+
+func (h *histogram) percentiles() Percentiles {
+	p := Percentiles{
+		P50Ms: h.percentile(0.50),
+		P90Ms: h.percentile(0.90),
+		P99Ms: h.percentile(0.99),
+		MaxMs: h.max,
+	}
+	if h.count > 0 {
+		p.MeanMs = h.sum / float64(h.count)
+	}
+	return p
+}

@@ -59,9 +59,13 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"dexa/internal/buildinfo"
+	"dexa/internal/cluster"
 	"dexa/internal/faults"
 	"dexa/internal/lifecycle"
 	"dexa/internal/match"
@@ -93,7 +97,25 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	accessLog := flag.Bool("access-log", true, "emit one structured log line per API request")
 	traceCap := flag.Int("trace-capacity", telemetry.DefaultTraceCapacity, "recent request traces kept for /debug/traces")
+	version := flag.Bool("version", false, "print build identity and exit")
+	clusterConfig := flag.String("cluster-config", "", "membership file making this instance one shard of a cluster (requires -cluster-self)")
+	clusterSelf := flag.String("cluster-self", "", "this instance's shard name in -cluster-config (or its instance name with -follow)")
+	follow := flag.String("follow", "", "run as a read-only follower tailing this leader's /wal feed")
+	followWait := flag.Duration("follow-wait", 0, "long-poll window per replication round (0 = the feed's default)")
+	lagMax := flag.Uint64("replication-lag-max", 1024, "follower readiness gate: /readyz answers 503 above this many unapplied records (0 disables)")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String())
+		return
+	}
+	if *clusterConfig != "" && *follow != "" {
+		fmt.Fprintln(os.Stderr, "pick one of -cluster-config (shard) or -follow (read replica)")
+		os.Exit(2)
+	}
+	if *clusterConfig != "" && *clusterSelf == "" {
+		fmt.Fprintln(os.Stderr, "-cluster-config requires -cluster-self")
+		os.Exit(2)
+	}
 
 	metrics := telemetry.Default
 	tracer := telemetry.NewTracer(*traceCap)
@@ -210,6 +232,57 @@ func main() {
 			tracked, *probeInterval, lcLog.Seq(), queue.Pending())
 	}
 
+	// The shutdown signal context exists before the cluster goroutines so
+	// checker, follower and server all stop on the same SIGTERM.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Cluster wiring: a shard node leads its slice of the catalog (WAL
+	// feed at /wal, scatter-gather queries, per-shard health checks); a
+	// follower tails a leader and serves its replicated slice read-only.
+	var (
+		feed     *cluster.Feed
+		follower *cluster.Follower
+	)
+	if *clusterConfig != "" {
+		cfg, err := cluster.LoadConfig(*clusterConfig)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		node, err := cluster.NewShardNode(cfg, *clusterSelf, metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		feed = cluster.NewFeed(st, node.Metrics)
+		node.Feed = feed
+		api.Cluster = node
+		go node.Checker.Run(ctx)
+		fmt.Fprintf(os.Stderr, "cluster: shard %q of %d (ring owns %d of %d modules)\n",
+			*clusterSelf, len(cfg.Shards), countOwned(node, u.Registry.IDs()), u.Registry.Len())
+	}
+	if *follow != "" {
+		self := *clusterSelf
+		if self == "" {
+			if host, err := os.Hostname(); err == nil {
+				self = host
+			} else {
+				self = "follower"
+			}
+		}
+		follower = &cluster.Follower{
+			Leader:  strings.TrimSuffix(*follow, "/"),
+			Store:   st,
+			Wait:    *followWait,
+			Metrics: cluster.NewMetrics(metrics),
+			Logger:  logger,
+		}
+		api.Cluster = &cluster.Node{Self: self, Role: cluster.RoleFollower, Follower: follower}
+		go follower.Run(ctx)
+		fmt.Fprintf(os.Stderr, "cluster: follower %q tailing %s from seq %d\n", self, follower.Leader, st.Seq())
+	}
+
 	restHandler := http.Handler(transport.RESTHandler(u.Registry))
 	soapHandler := http.Handler(transport.SOAPHandler(u.Registry))
 
@@ -236,9 +309,29 @@ func main() {
 	mux.Handle("/api/", http.StripPrefix("/api", api.Handler()))
 	mux.Handle("/metrics", serve.Ops(serve.OpsOptions{Registry: metrics, Tracer: tracer}))
 	mux.Handle("/debug/", serve.Ops(serve.OpsOptions{Registry: metrics, Tracer: tracer, Pprof: *pprofOn}))
+	if feed != nil {
+		mux.Handle("/wal", feed)
+	}
+	// Liveness vs readiness: /healthz says the process is up (restart me
+	// if this fails), /readyz says it should receive traffic (route away
+	// while draining or while a follower is too far behind its leader).
+	var draining atomic.Bool
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintf(w, "ok: %d modules available, %d annotated in store\n",
-			len(u.Registry.Available()), st.Len())
+		fmt.Fprintf(w, "ok: %s, %d modules available, %d annotated in store\n",
+			buildinfo.String(), len(u.Registry.Available()), st.Len())
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		if follower != nil && *lagMax > 0 {
+			if lag := follower.Status().Lag; lag > *lagMax {
+				http.Error(w, fmt.Sprintf("replication lag %d exceeds %d", lag, *lagMax), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ready")
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -249,11 +342,31 @@ func main() {
 	fmt.Printf("serving %d modules at http://%s (REST under /rest, SOAP at /soap, annotation API under /api)\n",
 		len(u.Registry.Available()), ln.Addr())
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	if err := serve.Serve(ctx, &http.Server{Handler: mux}, ln, *grace, st, preStop...); err != nil {
+	httpSrv := &http.Server{Handler: mux}
+	// The moment graceful shutdown begins: flip readiness, release every
+	// parked long-poll (/api/watch, /wal) so the drain window is bounded
+	// by in-flight work, not poll timeouts.
+	httpSrv.RegisterOnShutdown(func() {
+		draining.Store(true)
+		api.BeginDrain()
+		if feed != nil {
+			feed.BeginDrain()
+		}
+	})
+	if err := serve.Serve(ctx, httpSrv, ln, *grace, st, preStop...); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "shut down cleanly; store flushed")
+}
+
+// countOwned counts the module IDs the ring places on this shard.
+func countOwned(n *cluster.Node, ids []string) int {
+	owned := 0
+	for _, id := range ids {
+		if n.Owns(id) {
+			owned++
+		}
+	}
+	return owned
 }

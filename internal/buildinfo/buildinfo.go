@@ -1,0 +1,67 @@
+// Package buildinfo identifies a dexa binary: the release version (set
+// at link time) plus whatever the Go toolchain embedded about the build
+// — VCS revision, dirty flag, go version. Every command's -version flag
+// prints String().
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// Version is the release identifier, overridden at link time:
+//
+//	go build -ldflags "-X dexa/internal/buildinfo.Version=v1.2.3"
+var Version = "dev"
+
+// Info is the resolved build identity.
+type Info struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"goVersion"`
+	Revision  string `json:"revision,omitempty"`
+	Time      string `json:"time,omitempty"`
+	Dirty     bool   `json:"dirty,omitempty"`
+}
+
+// Get resolves the build identity from the linker-set version and the
+// embedded VCS metadata (absent in test binaries and plain `go run`).
+func Get() Info {
+	info := Info{Version: Version, GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the identity on one line, e.g.
+// "dexa dev (go1.24.2, rev 1a2b3c4d, dirty)".
+func String() string {
+	info := Get()
+	var b strings.Builder
+	fmt.Fprintf(&b, "dexa %s (%s", info.Version, info.GoVersion)
+	if info.Revision != "" {
+		rev := info.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(&b, ", rev %s", rev)
+	}
+	if info.Dirty {
+		b.WriteString(", dirty")
+	}
+	b.WriteString(")")
+	return b.String()
+}

@@ -1,0 +1,26 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringCarriesVersionAndGo(t *testing.T) {
+	s := String()
+	if !strings.HasPrefix(s, "dexa "+Version) {
+		t.Errorf("String() = %q, want prefix %q", s, "dexa "+Version)
+	}
+	if !strings.Contains(s, "go") {
+		t.Errorf("String() = %q carries no go version", s)
+	}
+}
+
+func TestGetDefaults(t *testing.T) {
+	info := Get()
+	if info.Version != Version {
+		t.Errorf("Version = %q, want %q", info.Version, Version)
+	}
+	if info.GoVersion == "" {
+		t.Error("GoVersion empty")
+	}
+}

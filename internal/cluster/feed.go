@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"dexa/internal/store"
+)
+
+// The replication feed is the leader half of WAL streaming: followers
+// long-poll GET /wal?from=<seq> and receive the mutation records past
+// their cursor in the same CRC-framed physical format the disk WAL uses
+// (store.EncodeFrame), so a follower verifies end-to-end integrity with
+// the checksum logic it already trusts for crash recovery.
+//
+// Response contract:
+//
+//	200, body = frame*          — records to apply, in sequence order
+//	    X-Dexa-Wal-Next: <seq>  — cursor to resume from after applying
+//	    X-Dexa-Leader-Seq: <seq>— the leader's head at answer time
+//	    X-Dexa-Wal-Reset: 1     — body is a full-state stream; replace,
+//	                              don't apply (cursor fell out of the
+//	                              window or diverged past the head)
+//	204 (same headers, no body) — nothing new within the wait window
+//
+// A feed being drained (SIGTERM) answers new and parked waiters with an
+// immediate 204 instead of holding them for the wait window, so graceful
+// shutdown is bounded by in-flight transfer time, not poll timeouts.
+
+// DefaultFeedLimit bounds the records per feed answer when ?limit= is
+// absent; a catching-up follower simply polls again.
+const DefaultFeedLimit = 512
+
+// maxFeedWait bounds how long one /wal request may hold a connection.
+const maxFeedWait = 30 * time.Second
+
+// defaultFeedWait is the long-poll window when ?wait= is absent.
+const defaultFeedWait = 25 * time.Second
+
+// Feed serves a store's replication stream over HTTP.
+type Feed struct {
+	Store   *store.Store
+	Metrics *Metrics
+
+	drainOnce sync.Once
+	drain     chan struct{}
+	drainInit sync.Once
+}
+
+// NewFeed wraps st as a replication feed. met may be nil.
+func NewFeed(st *store.Store, met *Metrics) *Feed {
+	return &Feed{Store: st, Metrics: met}
+}
+
+func (f *Feed) drainCh() chan struct{} {
+	f.drainInit.Do(func() { f.drain = make(chan struct{}) })
+	return f.drain
+}
+
+// BeginDrain releases every parked long-poll waiter and makes new ones
+// answer immediately. Wire it to http.Server.RegisterOnShutdown so
+// followers detach at the start of a graceful shutdown.
+func (f *Feed) BeginDrain() {
+	ch := f.drainCh()
+	f.drainOnce.Do(func() { close(ch) })
+}
+
+func (f *Feed) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if f.Metrics != nil {
+		f.Metrics.FeedRequests.Inc()
+	}
+	cursor, err := parseUintParam(r, "from")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	limit := DefaultFeedLimit
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, fmt.Sprintf("invalid limit %q", v), http.StatusBadRequest)
+			return
+		}
+		if n > 0 {
+			limit = n
+		}
+	}
+	wait := defaultFeedWait
+	if v := r.URL.Query().Get("wait"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			http.Error(w, fmt.Sprintf("invalid wait %q", v), http.StatusBadRequest)
+			return
+		}
+		wait = d
+	}
+	if wait > maxFeedWait {
+		wait = maxFeedWait
+	}
+
+	recs, next, reset := f.Store.TailSince(cursor, limit)
+	if len(recs) == 0 && !reset {
+		// At the head: park until the log grows, the wait window closes,
+		// the request dies, or the server starts draining.
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+		select {
+		case <-f.Store.ReplicationChanged(cursor):
+			recs, next, reset = f.Store.TailSince(cursor, limit)
+		case <-timer.C:
+		case <-r.Context().Done():
+			return
+		case <-f.drainCh():
+		}
+	}
+
+	w.Header().Set("X-Dexa-Wal-Next", strconv.FormatUint(next, 10))
+	w.Header().Set("X-Dexa-Leader-Seq", strconv.FormatUint(f.Store.Seq(), 10))
+	if reset {
+		w.Header().Set("X-Dexa-Wal-Reset", "1")
+		if f.Metrics != nil {
+			f.Metrics.FeedResets.Inc()
+		}
+	}
+	if len(recs) == 0 && !reset {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	for _, rec := range recs {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return // headers are gone; the follower's CRC check catches the cut
+		}
+		if _, err := w.Write(store.EncodeFrame(payload)); err != nil {
+			return
+		}
+	}
+	if f.Metrics != nil {
+		f.Metrics.FeedRecords.Add(uint64(len(recs)))
+	}
+}
+
+func parseUintParam(r *http.Request, name string) (uint64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid %s %q", name, v)
+	}
+	return n, nil
+}
+
+// DecodeFrames decodes a feed response body back into records, verifying
+// each frame's checksum. A torn or corrupt frame aborts the batch with
+// store.ErrTornFrame — the caller retries from its last applied
+// sequence, which is exactly the no-gap resume the store enforces.
+func DecodeFrames(body []byte) ([]store.Record, error) {
+	fr := store.NewFrameReader(bytes.NewReader(body))
+	var recs []store.Record
+	for {
+		payload, err := fr.Next()
+		if err != nil {
+			if err == io.EOF {
+				return recs, nil
+			}
+			return nil, err
+		}
+		var rec store.Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return nil, fmt.Errorf("cluster: decoding feed record: %w", err)
+		}
+		recs = append(recs, rec)
+	}
+}

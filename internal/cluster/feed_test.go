@@ -1,0 +1,299 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dexa/internal/dataexample"
+	"dexa/internal/store"
+	"dexa/internal/typesys"
+)
+
+func feedSet(tag string) dataexample.Set {
+	return dataexample.Set{{
+		Inputs:          map[string]typesys.Value{"id": typesys.Str(tag)},
+		Outputs:         map[string]typesys.Value{"out": typesys.Str("v-" + tag)},
+		InputPartitions: map[string]string{"id": "Accession"},
+	}}
+}
+
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// feedFixture serves a leader store's feed over real HTTP and returns a
+// follower wired to it.
+func feedFixture(t *testing.T, leader, followerStore *store.Store) *Follower {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.Handle("/wal", NewFeed(leader, nil))
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return &Follower{
+		Leader: srv.URL,
+		Store:  followerStore,
+		Client: srv.Client(),
+		Wait:   50 * time.Millisecond,
+	}
+}
+
+func assertMirrored(t *testing.T, leader, follower *store.Store) {
+	t.Helper()
+	if follower.Seq() != leader.Seq() {
+		t.Fatalf("follower seq %d, leader seq %d", follower.Seq(), leader.Seq())
+	}
+	lids, fids := leader.IDs(), follower.IDs()
+	if len(lids) != len(fids) {
+		t.Fatalf("follower holds %d modules, leader %d", len(fids), len(lids))
+	}
+	for i, id := range lids {
+		if fids[i] != id {
+			t.Fatalf("module %d: %q vs %q", i, fids[i], id)
+		}
+		lh, _ := leader.Hash(id)
+		fh, _ := follower.Hash(id)
+		if lh != fh {
+			t.Fatalf("module %s hash mismatch", id)
+		}
+		lv, _ := leader.Version(id)
+		fv, _ := follower.Version(id)
+		if lv != fv {
+			t.Fatalf("module %s version %d vs %d", id, fv, lv)
+		}
+	}
+}
+
+func TestFeedFollowerReplicates(t *testing.T) {
+	leader := openStore(t, "")
+	followerStore := openStore(t, "")
+	f := feedFixture(t, leader, followerStore)
+
+	for _, id := range []string{"a", "b", "c"} {
+		if _, _, err := leader.Put(id, feedSet(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.tailOnce(context.Background(), f.Client); err != nil {
+		t.Fatal(err)
+	}
+	assertMirrored(t, leader, followerStore)
+	if st := f.Status(); st.Lag != 0 || st.Applied != 3 {
+		t.Errorf("status after catch-up: %+v", st)
+	}
+
+	// Update + delete flow through the same rounds.
+	if _, _, err := leader.Put("a", feedSet("a2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Delete("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.tailOnce(context.Background(), f.Client); err != nil {
+		t.Fatal(err)
+	}
+	assertMirrored(t, leader, followerStore)
+
+	// At the head, a round answers 204 and applies nothing.
+	before := f.Status().Applied
+	if err := f.tailOnce(context.Background(), f.Client); err != nil {
+		t.Fatal(err)
+	}
+	if f.Status().Applied != before {
+		t.Error("quiet round applied records")
+	}
+}
+
+func TestFeedLongPollWakesOnWrite(t *testing.T) {
+	leader := openStore(t, "")
+	followerStore := openStore(t, "")
+	f := feedFixture(t, leader, followerStore)
+	f.Wait = 5 * time.Second
+
+	done := make(chan error, 1)
+	go func() { done <- f.tailOnce(context.Background(), f.Client) }()
+	time.Sleep(50 * time.Millisecond) // let the poll park
+	if _, _, err := leader.Put("late", feedSet("late")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("parked poll not woken by a leader write")
+	}
+	assertMirrored(t, leader, followerStore)
+}
+
+func TestFeedDrainReleasesWaiters(t *testing.T) {
+	leader := openStore(t, "")
+	feed := NewFeed(leader, nil)
+	srv := httptest.NewServer(feed)
+	defer srv.Close()
+
+	start := time.Now()
+	done := make(chan int, 1)
+	go func() {
+		resp, err := srv.Client().Get(srv.URL + "?from=0&wait=20s")
+		if err != nil {
+			done <- -1
+			return
+		}
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+	time.Sleep(50 * time.Millisecond)
+	feed.BeginDrain()
+	select {
+	case code := <-done:
+		if code != http.StatusNoContent {
+			t.Fatalf("drained waiter answered %d, want 204", code)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("drain did not release the parked waiter")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("drained waiter held for %v", elapsed)
+	}
+	// New waiters during drain answer immediately too.
+	resp, err := srv.Client().Get(srv.URL + "?from=0&wait=20s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("post-drain waiter answered %d, want 204", resp.StatusCode)
+	}
+}
+
+// TestFollowerKilledMidTailResumes is the HTTP half of the torn-tail
+// drill: a follower dies mid-stream losing its WAL tail, reopens, and
+// must resume from its recovered sequence over the wire — the lost
+// records are re-fetched, nothing already held is re-applied, and no
+// gap is accepted.
+func TestFollowerKilledMidTailResumes(t *testing.T) {
+	leader := openStore(t, "")
+	fdir := t.TempDir()
+	followerStore := openStore(t, fdir)
+	f := feedFixture(t, leader, followerStore)
+
+	for _, id := range []string{"a", "b", "c", "d", "e"} {
+		if _, _, err := leader.Put(id, feedSet(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.tailOnce(context.Background(), f.Client); err != nil {
+		t.Fatal(err)
+	}
+	assertMirrored(t, leader, followerStore)
+
+	// Kill: close the store and tear its WAL mid-frame.
+	if err := followerStore.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(fdir, "wal.log")
+	fi, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(walPath, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened := openStore(t, fdir)
+	if got := reopened.Seq(); got != 4 {
+		t.Fatalf("recovered follower seq %d, want 4", got)
+	}
+	resumed := &Follower{Leader: f.Leader, Store: reopened, Client: f.Client, Wait: f.Wait}
+	if err := resumed.tailOnce(context.Background(), resumed.Client); err != nil {
+		t.Fatal(err)
+	}
+	assertMirrored(t, leader, reopened)
+	if st := resumed.Status(); st.Applied != 1 || st.Resets != 0 {
+		t.Fatalf("resume applied %d records with %d resets, want exactly the lost record and no reset", st.Applied, st.Resets)
+	}
+}
+
+// TestFollowerResetOnDivergence: a leader restarting from a recovered
+// sequence (its window no longer covers the follower's cursor, or the
+// follower is ahead) must push a full-state reset, not a gap.
+func TestFollowerResetOnDivergence(t *testing.T) {
+	ldir := t.TempDir()
+	leader := openStore(t, ldir)
+	for _, id := range []string{"a", "b", "c"} {
+		if _, _, err := leader.Put(id, feedSet(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := leader.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened := openStore(t, ldir) // replication window starts at seq 3
+	followerStore := openStore(t, "")
+	f := feedFixture(t, reopened, followerStore)
+	if err := f.tailOnce(context.Background(), f.Client); err != nil {
+		t.Fatal(err)
+	}
+	assertMirrored(t, reopened, followerStore)
+	if st := f.Status(); st.Resets != 1 {
+		t.Fatalf("follower performed %d resets, want 1", st.Resets)
+	}
+	// Incremental tailing resumes after the reset.
+	if _, _, err := reopened.Put("d", feedSet("d")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.tailOnce(context.Background(), f.Client); err != nil {
+		t.Fatal(err)
+	}
+	assertMirrored(t, reopened, followerStore)
+	if st := f.Status(); st.Resets != 1 || st.Applied != 1 {
+		t.Fatalf("post-reset round: %+v", f.Status())
+	}
+}
+
+// TestFollowerRunLoop drives the real Run loop end to end: writes land
+// on the follower without manual rounds, and cancellation stops it.
+func TestFollowerRunLoop(t *testing.T) {
+	leader := openStore(t, "")
+	followerStore := openStore(t, "")
+	f := feedFixture(t, leader, followerStore)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- f.Run(ctx) }()
+
+	for _, id := range []string{"a", "b"} {
+		if _, _, err := leader.Put(id, feedSet(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for followerStore.Seq() != leader.Seq() {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower stuck at seq %d, leader at %d", followerStore.Seq(), leader.Seq())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	assertMirrored(t, leader, followerStore)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("Run did not stop on cancellation")
+	}
+}

@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"dexa/internal/store"
+)
+
+// Follower tails a leader's replication feed and mirrors its store. The
+// loop is a plain long-poll: fetch records past the local sequence,
+// apply them through the store's replicated path (own WAL, same replay
+// code, gap rejection), repeat. A killed follower restarts from
+// whatever sequence its WAL recovered to — re-fetching only what it
+// lost — and a follower that diverged from the leader (the cursor fell
+// out of the leader's window, or the leader itself lost a torn tail and
+// rewound) receives a reset stream and replaces its state wholesale.
+type Follower struct {
+	// Leader is the leader's base URL (the /wal endpoint is appended).
+	Leader string
+	Store  *store.Store
+	// Client issues the feed requests; its Timeout must exceed Wait.
+	// nil selects a client sized to the wait window.
+	Client *http.Client
+	// Wait is the long-poll window per request (0 selects the feed's
+	// default by omitting the parameter).
+	Wait    time.Duration
+	Metrics *Metrics
+	Logger  *slog.Logger
+
+	leaderSeq atomic.Uint64
+	applied   atomic.Uint64
+	resets    atomic.Uint64
+	errors    atomic.Uint64
+	lastErr   atomic.Value // string
+}
+
+// Run tails the leader until ctx is cancelled. Transport and apply
+// errors are retried with exponential backoff (capped at 5s) rather
+// than returned: a follower outlives leader restarts.
+func (f *Follower) Run(ctx context.Context) error {
+	client := f.Client
+	if client == nil {
+		wait := f.Wait
+		if wait <= 0 {
+			wait = defaultFeedWait
+		}
+		client = &http.Client{Timeout: wait + 10*time.Second}
+	}
+	backoff := 50 * time.Millisecond
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil
+		}
+		err := f.tailOnce(ctx, client)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			f.errors.Add(1)
+			f.lastErr.Store(err.Error())
+			if f.Metrics != nil {
+				f.Metrics.TailErrors.Inc()
+			}
+			if f.Logger != nil {
+				f.Logger.Warn("cluster: tail round failed", "leader", f.Leader, "err", err)
+			}
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return nil
+			}
+			if backoff *= 2; backoff > 5*time.Second {
+				backoff = 5 * time.Second
+			}
+			continue
+		}
+		backoff = 50 * time.Millisecond
+	}
+}
+
+// tailOnce performs one feed round trip and applies its records.
+func (f *Follower) tailOnce(ctx context.Context, client *http.Client) error {
+	cursor := f.Store.Seq()
+	u := f.Leader + "/wal?from=" + strconv.FormatUint(cursor, 10)
+	if f.Wait > 0 {
+		u += "&wait=" + url.QueryEscape(f.Wait.String())
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+
+	if seq, err := strconv.ParseUint(resp.Header.Get("X-Dexa-Leader-Seq"), 10, 64); err == nil {
+		f.leaderSeq.Store(seq)
+	}
+	f.observe()
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return nil // quiet window; poll again
+	case http.StatusOK:
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("cluster: feed answered %s: %s", resp.Status, body)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("cluster: reading feed body: %w", err)
+	}
+	recs, err := DecodeFrames(body)
+	if err != nil {
+		// A torn frame in transit: apply nothing from this batch and
+		// re-request from the unchanged local sequence.
+		return err
+	}
+	next, err := strconv.ParseUint(resp.Header.Get("X-Dexa-Wal-Next"), 10, 64)
+	if err != nil {
+		return fmt.Errorf("cluster: feed answer missing X-Dexa-Wal-Next")
+	}
+	if resp.Header.Get("X-Dexa-Wal-Reset") == "1" {
+		if err := f.Store.ResetReplicated(recs, next); err != nil {
+			return err
+		}
+		f.resets.Add(1)
+		if f.Metrics != nil {
+			f.Metrics.Resets.Inc()
+		}
+		if f.Logger != nil {
+			f.Logger.Info("cluster: full-state reset applied", "leader", f.Leader, "modules", len(recs), "seq", next)
+		}
+	} else if len(recs) > 0 {
+		applied, _, err := f.Store.ApplyReplicated(recs)
+		f.applied.Add(uint64(applied))
+		if f.Metrics != nil {
+			f.Metrics.Applied.Add(uint64(applied))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	f.observe()
+	return nil
+}
+
+// observe refreshes the gauges from the current positions.
+func (f *Follower) observe() {
+	if f.Metrics == nil {
+		return
+	}
+	leader, local := f.leaderSeq.Load(), f.Store.Seq()
+	f.Metrics.LeaderSeq.Set(float64(leader))
+	f.Metrics.LocalSeq.Set(float64(local))
+	f.Metrics.ReplicationLag.Set(float64(lag(leader, local)))
+}
+
+// lag is the follower's distance behind the leader; a follower ahead of
+// a rewound leader (divergence about to be reset away) reports zero
+// rather than wrapping.
+func lag(leader, local uint64) uint64 {
+	if leader <= local {
+		return 0
+	}
+	return leader - local
+}
+
+// Status reports the follower's replication position for /stats.
+type FollowerStatus struct {
+	Leader    string `json:"leader"`
+	LeaderSeq uint64 `json:"leaderSeq"`
+	LocalSeq  uint64 `json:"localSeq"`
+	Lag       uint64 `json:"lag"`
+	Applied   uint64 `json:"applied"`
+	Resets    uint64 `json:"resets"`
+	Errors    uint64 `json:"errors"`
+	LastError string `json:"lastError,omitempty"`
+}
+
+// Status snapshots the tailer's position and counters.
+func (f *Follower) Status() FollowerStatus {
+	st := FollowerStatus{
+		Leader:    f.Leader,
+		LeaderSeq: f.leaderSeq.Load(),
+		LocalSeq:  f.Store.Seq(),
+		Applied:   f.applied.Load(),
+		Resets:    f.resets.Load(),
+		Errors:    f.errors.Load(),
+	}
+	st.Lag = lag(st.LeaderSeq, st.LocalSeq)
+	if v, ok := f.lastErr.Load().(string); ok {
+		st.LastError = v
+	}
+	return st
+}

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"dexa/internal/dataexample"
+	"dexa/internal/match"
+)
+
+// Wire payloads of the intra-cluster API (mounted by the serving layer
+// under /api/cluster/*). Both sides of every scatter-gather call — the
+// Router on the querying node and the handlers on the shards — share
+// these types, so the shapes cannot drift apart.
+
+// Info is GET /cluster/info: one node's identity and replication
+// position, cheap enough to poll per scatter round.
+type Info struct {
+	Shard   string `json:"shard"`
+	Role    string `json:"role"` // "shard" or "follower"
+	Seq     uint64 `json:"seq"`
+	Modules int    `json:"modules"` // stored annotations on this node
+	// Follower-only: the leader being tailed and the observed lag.
+	Leader    string `json:"leader,omitempty"`
+	LeaderSeq uint64 `json:"leaderSeq,omitempty"`
+	Lag       uint64 `json:"lag,omitempty"`
+}
+
+// StoredSet is one module's stored annotation as shipped between nodes.
+type StoredSet struct {
+	Hash     string          `json:"hash"`
+	Version  uint64          `json:"version"`
+	Examples dataexample.Set `json:"examples"`
+}
+
+// SetsPayload is GET /cluster/sets: every annotation this shard stores
+// (its owned slice of the catalog), keyed by module ID.
+type SetsPayload struct {
+	Shard string               `json:"shard"`
+	Seq   uint64               `json:"seq"`
+	Sets  map[string]StoredSet `json:"sets"`
+}
+
+// SubstitutesRequest is POST /cluster/substitutes: rank this shard's
+// slice of the candidate set against the target's examples. The target's
+// examples ride in the body because only the owner shard stores them;
+// the receiving shard compares them against its assigned candidates by
+// invoking those candidates through its own executors.
+type SubstitutesRequest struct {
+	Target     string          `json:"target"`
+	Hash       string          `json:"hash"`
+	Examples   dataexample.Set `json:"examples"`
+	Candidates []string        `json:"candidates"`
+}
+
+// SubstituteEntry is one ranked candidate in cluster transit — the same
+// fields the public /substitutes response carries.
+type SubstituteEntry struct {
+	ID       string  `json:"id"`
+	Verdict  string  `json:"verdict"`
+	Score    float64 `json:"score"`
+	Compared int     `json:"compared"`
+	Agreeing int     `json:"agreeing"`
+}
+
+// SkippedEntry is one uncomparable candidate and why.
+type SkippedEntry struct {
+	ID     string `json:"id"`
+	Reason string `json:"reason"`
+}
+
+// SubstitutesReply is the shard's slice of the ranking.
+type SubstitutesReply struct {
+	Shard       string            `json:"shard"`
+	Substitutes []SubstituteEntry `json:"substitutes"`
+	Skipped     []SkippedEntry    `json:"skipped,omitempty"`
+}
+
+// MatrixRequest is POST /cluster/matrix: compute this shard's slice of
+// the all-pairs matrix over the full catalog's sets (gathered from every
+// shard by the router — a single shard stores only its owned slice, but
+// the pair sweep needs both sides of every pair).
+type MatrixRequest struct {
+	Sets map[string]StoredSet `json:"sets"`
+}
+
+// MatrixReply is the shard's matrix slice (see match.MatchMatrixSlice).
+type MatrixReply struct {
+	Shard  string             `json:"shard"`
+	Matrix *match.MatchMatrix `json:"matrix"`
+}

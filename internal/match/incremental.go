@@ -114,7 +114,7 @@ func (im *IncrementalMatrix) Matrix(ctx context.Context, mods []*module.Module, 
 	var grid []cell
 	var changed int
 	if !im.built {
-		full, err := im.cmp.buildGrid(ctx, &in, &met)
+		full, err := im.cmp.buildGrid(ctx, &in, nil, &met)
 		if err != nil {
 			return nil, err
 		}

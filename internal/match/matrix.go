@@ -194,7 +194,7 @@ func (c *Comparer) MatchMatrixFromKeyedSets(ctx context.Context, mods []*module.
 	if n < 2 {
 		return mm, ctx.Err()
 	}
-	grid, err := c.buildGrid(ctx, &in, &met)
+	grid, err := c.buildGrid(ctx, &in, nil, &met)
 	if err != nil {
 		return nil, err
 	}
@@ -209,9 +209,9 @@ func (c *Comparer) MatchMatrixFromKeyedSets(ctx context.Context, mods []*module.
 	return mm, nil
 }
 
-// buildGrid runs the full sweep: per-target feasibility rows, then every
-// unordered pair.
-func (c *Comparer) buildGrid(ctx context.Context, in *matrixInputs, met *matchMetrics) ([]cell, error) {
+// buildGrid runs the sweep: per-target feasibility rows, then every
+// unordered pair need admits (nil means all).
+func (c *Comparer) buildGrid(ctx context.Context, in *matrixInputs, need func(a, b int) bool, met *matchMetrics) ([]cell, error) {
 	n := len(in.ids)
 	var feas []*Feasibility
 	if c.Index != nil {
@@ -227,7 +227,7 @@ func (c *Comparer) buildGrid(ctx context.Context, in *matrixInputs, met *matchMe
 		return feas[ti].Prunes(in.ids[ci])
 	}
 	grid := make([]cell, n*n)
-	if err := c.sweepGrid(ctx, in, grid, prune, nil, met); err != nil {
+	if err := c.sweepGrid(ctx, in, grid, prune, need, met); err != nil {
 		return nil, err
 	}
 	return grid, nil

@@ -162,6 +162,13 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Cache-Control", "no-cache")
 		w.WriteHeader(http.StatusNotModified)
 		return
+	case <-s.drainCh():
+		// Shutting down: answer like a quiet window so the client re-polls
+		// (and lands on another instance) instead of holding the drain open.
+		w.Header().Set("ETag", lifecycleETag(cursor))
+		w.Header().Set("Cache-Control", "no-cache")
+		w.WriteHeader(http.StatusNotModified)
+		return
 	case <-r.Context().Done():
 		return
 	}

@@ -20,6 +20,11 @@ import (
 type matchesResponse struct {
 	State  string             `json:"state"`
 	Matrix *match.MatchMatrix `json:"matrix"`
+	// Cluster mode only: a scatter with failed shards degrades to a
+	// partial matrix instead of failing. Absent on healthy answers, so
+	// the healthy-cluster body matches a single node's shape.
+	Partial      bool     `json:"partial,omitempty"`
+	FailedShards []string `json:"failedShards,omitempty"`
 }
 
 // matrixCache memoizes the last all-pairs matrix build together with the
@@ -121,6 +126,10 @@ func (s *Server) substitutesStateKey(targetID, targetHash string) string {
 func (s *Server) handleMatches(w http.ResponseWriter, r *http.Request) {
 	if s.Comparer == nil {
 		writeError(w, http.StatusNotImplemented, "matching is not enabled on this server")
+		return
+	}
+	if s.clusterMode() {
+		s.scatterMatches(w, r)
 		return
 	}
 	state := s.matrixStateKey()

@@ -36,7 +36,9 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 
+	"dexa/internal/cluster"
 	"dexa/internal/core"
 	"dexa/internal/dataexample"
 	"dexa/internal/lifecycle"
@@ -69,6 +71,12 @@ type Server struct {
 	// queue. See lifecycle.go.
 	Lifecycle *lifecycle.Manager
 
+	// Cluster, when set, makes this server one node of a sharded serving
+	// tier: the intra-cluster endpoints (/cluster/*) are mounted, /matches
+	// and /substitutes scatter-gather across the ring, and reads of
+	// modules another shard owns redirect to their owner. See cluster.go.
+	Cluster *cluster.Node
+
 	Telemetry *telemetry.Registry
 	Tracer    *telemetry.Tracer
 	Logger    *slog.Logger
@@ -78,6 +86,27 @@ type Server struct {
 	// annotations, module availability or the signature index change.
 	matrix matrixCache
 	subs   subsCache
+
+	// drain is closed by BeginDrain: long-poll handlers (/watch here, the
+	// cluster WAL feed in its own package) answer parked and new waiters
+	// immediately instead of holding the shutdown window open.
+	drainOnce sync.Once
+	drainLazy sync.Once
+	drain     chan struct{}
+}
+
+// drainCh lazily allocates the drain channel.
+func (s *Server) drainCh() chan struct{} {
+	s.drainLazy.Do(func() { s.drain = make(chan struct{}) })
+	return s.drain
+}
+
+// BeginDrain makes every long-poll waiter answer immediately, parked or
+// future. Wire it to http.Server.RegisterOnShutdown so a SIGTERM's
+// graceful drain is bounded by in-flight work, not poll timeouts.
+func (s *Server) BeginDrain() {
+	ch := s.drainCh()
+	s.drainOnce.Do(func() { close(ch) })
 }
 
 // route is one API endpoint: the mux pattern, its method (for the 405
@@ -100,6 +129,9 @@ func (s *Server) routes() []route {
 	}
 	if s.Lifecycle != nil {
 		rts = append(rts, s.lifecycleRoutes()...)
+	}
+	if s.Cluster != nil {
+		rts = append(rts, s.clusterRoutes()...)
 	}
 	return rts
 }
@@ -298,6 +330,9 @@ func (s *Server) handleExamples(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if s.redirectToOwner(w, r, e.Module.ID) {
+		return
+	}
 	set, hash, ok := s.Store.Get(e.Module.ID)
 	if !ok {
 		writeError(w, http.StatusNotFound, "no stored examples for module %q (POST .../generate to annotate it)", e.Module.ID)
@@ -328,6 +363,13 @@ type generateResponse struct {
 func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.lookup(w, r)
 	if !ok {
+		return
+	}
+	if s.readOnly() {
+		writeError(w, http.StatusForbidden, "this node is a read-only follower; generate on its leader shard")
+		return
+	}
+	if s.redirectToOwner(w, r, e.Module.ID) {
 		return
 	}
 	if s.Source == nil {
@@ -374,6 +416,26 @@ type substitutesResponse struct {
 	Hash        string           `json:"hash"`
 	Substitutes []substituteInfo `json:"substitutes"`
 	Skipped     []skippedInfo    `json:"skipped,omitempty"`
+	// Cluster mode only: a scatter with failed shards degrades to a
+	// partial ranking instead of failing. Absent on healthy answers, so
+	// the healthy-cluster body stays byte-identical to a single node's.
+	Partial      bool     `json:"partial,omitempty"`
+	FailedShards []string `json:"failedShards,omitempty"`
+}
+
+// parseLimitParam reads ?limit= (0 = unlimited), answering the 400
+// itself on a malformed value.
+func parseLimitParam(w http.ResponseWriter, r *http.Request) (int, bool) {
+	v := r.URL.Query().Get("limit")
+	if v == "" {
+		return 0, true
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		writeError(w, http.StatusBadRequest, "invalid limit %q", v)
+		return 0, false
+	}
+	return n, true
 }
 
 type skippedInfo struct {
@@ -390,19 +452,18 @@ func (s *Server) handleSubstitutes(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotImplemented, "substitute search is not enabled on this server")
 		return
 	}
+	if s.clusterMode() {
+		s.scatterSubstitutes(w, r, e)
+		return
+	}
 	hash, ok := s.Store.Hash(e.Module.ID)
 	if !ok {
 		writeError(w, http.StatusNotFound, "no stored examples for module %q (POST .../generate first)", e.Module.ID)
 		return
 	}
-	limit := 0
-	if v := r.URL.Query().Get("limit"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 0 {
-			writeError(w, http.StatusBadRequest, "invalid limit %q", v)
-			return
-		}
-		limit = n
+	limit, ok := parseLimitParam(w, r)
+	if !ok {
+		return
 	}
 	state := s.substitutesStateKey(e.Module.ID, hash)
 	etag := `"` + state + `"`
@@ -451,6 +512,9 @@ type statsResponse struct {
 	// Telemetry is the full metrics-registry snapshot, present when the
 	// server was wired with one — the JSON twin of GET /metrics.
 	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+	// Cluster describes this node's place in a sharded serving tier:
+	// per-shard health on a shard node, replication lag on a follower.
+	Cluster *clusterStats `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -468,5 +532,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		snap := s.Telemetry.Snapshot()
 		resp.Telemetry = &snap
 	}
+	resp.Cluster = s.clusterStatsBlock()
 	writeJSON(w, http.StatusOK, resp)
 }

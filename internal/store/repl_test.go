@@ -1,0 +1,337 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dexa/internal/dataexample"
+	"dexa/internal/typesys"
+)
+
+// replSet builds a tiny distinct example set per tag so consecutive puts
+// are content changes, not hash no-ops.
+func replSet(tag string) dataexample.Set {
+	return dataexample.Set{{
+		Inputs:          map[string]typesys.Value{"id": typesys.Str(tag)},
+		Outputs:         map[string]typesys.Value{"out": typesys.Str("v-" + tag)},
+		InputPartitions: map[string]string{"id": "Accession"},
+	}}
+}
+
+// drain pulls every pending record from leader into follower, asserting
+// the incremental path (no reset) is taken.
+func drain(t *testing.T, leader, follower *Store) (applied, skipped int) {
+	t.Helper()
+	recs, next, reset := leader.TailSince(follower.Seq(), 0)
+	if reset {
+		t.Fatalf("expected incremental delta from cursor %d, got reset", follower.Seq())
+	}
+	a, sk, err := follower.ApplyReplicated(recs)
+	if err != nil {
+		t.Fatalf("ApplyReplicated: %v", err)
+	}
+	if follower.Seq() != next {
+		t.Fatalf("follower seq %d, want next cursor %d", follower.Seq(), next)
+	}
+	return a, sk
+}
+
+// assertMirrors checks the follower holds exactly the leader's state:
+// same module set, same hashes, same versions, same sequence.
+func assertMirrors(t *testing.T, leader, follower *Store) {
+	t.Helper()
+	if got, want := follower.Seq(), leader.Seq(); got != want {
+		t.Fatalf("follower seq %d, leader seq %d", got, want)
+	}
+	lids, fids := leader.IDs(), follower.IDs()
+	if len(lids) != len(fids) {
+		t.Fatalf("follower has %d modules, leader %d", len(fids), len(lids))
+	}
+	for i, id := range lids {
+		if fids[i] != id {
+			t.Fatalf("module %d: follower %q, leader %q", i, fids[i], id)
+		}
+		lh, _ := leader.Hash(id)
+		fh, _ := follower.Hash(id)
+		if lh != fh {
+			t.Fatalf("module %s: follower hash %s, leader %s", id, fh, lh)
+		}
+		lv, _ := leader.Version(id)
+		fv, _ := follower.Version(id)
+		if lv != fv {
+			t.Fatalf("module %s: follower version %d, leader %d", id, fv, lv)
+		}
+	}
+}
+
+func TestReplicationTailAndApply(t *testing.T) {
+	leader := mustOpen(t, "")
+	follower := mustOpen(t, "")
+
+	for _, id := range []string{"a", "b", "c"} {
+		if _, _, err := leader.Put(id, replSet(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	applied, skipped := drain(t, leader, follower)
+	if applied != 3 || skipped != 0 {
+		t.Fatalf("applied %d skipped %d, want 3/0", applied, skipped)
+	}
+	assertMirrors(t, leader, follower)
+
+	// Overwrite + delete propagate, versions included.
+	if _, _, err := leader.Put("a", replSet("a2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Delete("b"); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, leader, follower)
+	assertMirrors(t, leader, follower)
+	if v, _ := follower.Version("a"); v != 2 {
+		t.Fatalf("follower version of a = %d, want 2", v)
+	}
+	if _, ok := follower.Hash("b"); ok {
+		t.Fatal("deleted module b still present on follower")
+	}
+}
+
+func TestApplyReplicatedDuplicatesAndGaps(t *testing.T) {
+	leader := mustOpen(t, "")
+	follower := mustOpen(t, "")
+	for _, id := range []string{"a", "b", "c", "d"} {
+		if _, _, err := leader.Put(id, replSet(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, _, _ := leader.TailSince(0, 0)
+
+	// A retried delivery overlaps the already-applied prefix: duplicates
+	// are counted, never re-applied.
+	if _, _, err := follower.ApplyReplicated(recs[:3]); err != nil {
+		t.Fatal(err)
+	}
+	applied, skipped, err := follower.ApplyReplicated(recs) // full batch again
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 1 || skipped != 3 {
+		t.Fatalf("applied %d skipped %d, want 1/3", applied, skipped)
+	}
+	if v, _ := follower.Version("a"); v != 1 {
+		t.Fatalf("duplicate delivery bumped version of a to %d", v)
+	}
+
+	// A gap fails the batch outright.
+	if _, _, err := leader.Put("e", replSet("e")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := leader.Put("f", replSet("f")); err != nil {
+		t.Fatal(err)
+	}
+	tail, _, _ := leader.TailSince(follower.Seq(), 0)
+	gap := tail[1:] // skip the contiguous next record
+	if _, _, err := follower.ApplyReplicated(gap); err == nil || !strings.Contains(err.Error(), "gap") {
+		t.Fatalf("gap batch: err = %v, want replication gap", err)
+	}
+	if follower.Seq() != 4 {
+		t.Fatalf("gap batch advanced follower seq to %d", follower.Seq())
+	}
+}
+
+func TestReplicationResetWhenCursorOutOfWindow(t *testing.T) {
+	dir := t.TempDir()
+	leader := mustOpen(t, dir)
+	for _, id := range []string{"a", "b", "c"} {
+		if _, _, err := leader.Put(id, replSet(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := leader.Delete("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A reopened leader starts its window at the recovered sequence: a
+	// fresh follower (cursor 0) must resynchronise via reset.
+	leader = mustOpen(t, dir)
+	follower := mustOpen(t, "")
+	recs, next, reset := leader.TailSince(follower.Seq(), 0)
+	if !reset {
+		t.Fatal("expected reset stream for cursor below the window")
+	}
+	if err := follower.ResetReplicated(recs, next); err != nil {
+		t.Fatal(err)
+	}
+	assertMirrors(t, leader, follower)
+
+	// Incremental tailing picks up where the reset left off.
+	if _, _, err := leader.Put("d", replSet("d")); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, leader, follower)
+	assertMirrors(t, leader, follower)
+}
+
+func TestReplicationWindowEviction(t *testing.T) {
+	leader := mustOpen(t, "")
+	leader.repl.window = 8
+	for _, id := range []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"} {
+		if _, _, err := leader.Put(id, replSet(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Eviction raised the low-water mark: an old cursor resets, a recent
+	// one still gets its delta.
+	if _, _, reset := leader.TailSince(0, 0); !reset {
+		t.Fatal("cursor 0 should be out of the evicted window")
+	}
+	recs, next, reset := leader.TailSince(9, 0)
+	if reset || len(recs) != 1 || recs[0].Seq != 10 || next != 10 {
+		t.Fatalf("recent cursor: recs=%d reset=%v next=%d", len(recs), reset, next)
+	}
+}
+
+func TestReplicationChangedBroadcast(t *testing.T) {
+	leader := mustOpen(t, "")
+	ch := leader.ReplicationChanged(0)
+	select {
+	case <-ch:
+		t.Fatal("Changed(0) closed before any mutation")
+	default:
+	}
+	if _, _, err := leader.Put("a", replSet("a")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("Changed(0) not woken by a put")
+	}
+	// A cursor already behind gets an immediately-closed channel.
+	select {
+	case <-leader.ReplicationChanged(0):
+	default:
+		t.Fatal("Changed(0) with pending records should be closed already")
+	}
+}
+
+// TestFollowerTornTailResume is the mid-stream crash drill: a follower
+// tailing a leader loses its own unsynced WAL tail, reopens, and must
+// resume from its last contiguous sequence — re-fetching the lost
+// records, accepting no gap, and re-applying nothing it already holds.
+func TestFollowerTornTailResume(t *testing.T) {
+	leader := mustOpen(t, "")
+	fdir := t.TempDir()
+	follower := mustOpen(t, fdir)
+
+	for _, id := range []string{"a", "b", "c", "d", "e"} {
+		if _, _, err := leader.Put(id, replSet(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drain(t, leader, follower)
+	assertMirrors(t, leader, follower)
+
+	// Crash the follower mid-stream: cut its WAL inside the final frame,
+	// simulating a record half-written when the process died.
+	if err := follower.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(fdir, walFileName)
+	fi, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(walPath, fi.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	follower = mustOpen(t, fdir)
+	if !follower.Stats().TailTruncated {
+		t.Fatal("reopened follower did not report a truncated tail")
+	}
+	if got := follower.Seq(); got != 4 {
+		t.Fatalf("recovered follower seq %d, want 4 (lost exactly the torn record)", got)
+	}
+
+	// Resume: the leader still has seq 5 in its window, so the follower
+	// re-fetches exactly the lost suffix — no reset, no duplicates.
+	applied, skipped := drain(t, leader, follower)
+	if applied != 1 || skipped != 0 {
+		t.Fatalf("resume applied %d skipped %d, want 1/0", applied, skipped)
+	}
+	assertMirrors(t, leader, follower)
+
+	// And the repaired follower keeps tailing new writes.
+	if _, _, err := leader.Put("f", replSet("f")); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, leader, follower)
+	assertMirrors(t, leader, follower)
+}
+
+// TestLeaderTornTailForcesReset covers the reverse crash: the LEADER
+// loses its unsynced tail and restarts behind the follower. The
+// divergent follower must not absorb a gap or silently keep records the
+// leader no longer has — the feed answers with a reset stream.
+func TestLeaderTornTailForcesReset(t *testing.T) {
+	ldir := t.TempDir()
+	leader := mustOpen(t, ldir)
+	follower := mustOpen(t, "")
+
+	for _, id := range []string{"a", "b", "c"} {
+		if _, _, err := leader.Put(id, replSet(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drain(t, leader, follower)
+
+	// Leader crashes losing its final record (seq 3).
+	if err := leader.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(ldir, walFileName)
+	fi, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(walPath, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	leader = mustOpen(t, ldir)
+	if got := leader.Seq(); got != 2 {
+		t.Fatalf("recovered leader seq %d, want 2", got)
+	}
+
+	// The follower (at seq 3) is ahead of the leader's head: divergence.
+	recs, next, reset := leader.TailSince(follower.Seq(), 0)
+	if !reset {
+		t.Fatal("a follower ahead of the leader must be reset, not tailed")
+	}
+	if err := follower.ResetReplicated(recs, next); err != nil {
+		t.Fatal(err)
+	}
+	assertMirrors(t, leader, follower)
+
+	// New leader history replicates cleanly after the rewind.
+	if _, _, err := leader.Put("d", replSet("d")); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, leader, follower)
+	assertMirrors(t, leader, follower)
+}
+
+func mustOpen(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}

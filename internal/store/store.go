@@ -134,6 +134,11 @@ type Store struct {
 	gets, hits, puts, putNoops, deletes atomic.Uint64
 
 	met storeMetrics
+
+	// repl is the in-memory replication buffer: a bounded window of
+	// recent mutation records that followers tail over the WAL feed. See
+	// repl.go.
+	repl repl
 }
 
 // Open opens (or creates) a store rooted at dir. With dir == "" the
@@ -145,6 +150,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	s.registerFuncMetrics(opts.Metrics)
 	if dir == "" {
+		s.repl.init(0)
 		return s, nil
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -202,6 +208,10 @@ func Open(dir string, opts Options) (*Store, error) {
 	if s.wal != nil {
 		s.met.walBytes.Set(float64(s.wal.bytes))
 	}
+	// Replication starts at the recovered sequence: followers whose
+	// cursor predates this process's window resynchronise with a full
+	// state reset rather than a record-by-record delta.
+	s.repl.init(s.seq)
 	return s, nil
 }
 
@@ -223,20 +233,24 @@ func (s *Store) registerFuncMetrics(r *telemetry.Registry) {
 // apply folds one replayed WAL record into the index. Records apply in
 // sequence order; stale duplicates (a WAL that survived a crash between
 // snapshot rename and truncation) are ignored.
-func (s *Store) apply(rec walRecord) {
+func (s *Store) apply(rec Record) {
 	sh := s.shard(rec.Module)
 	old := sh.recs[rec.Module]
 	if old != nil && rec.Seq <= old.seq {
 		return
 	}
 	switch rec.Op {
-	case opPut:
-		ver := uint64(1)
-		if old != nil {
-			ver = old.version + 1
+	case OpPut:
+		ver := rec.Version
+		if ver == 0 {
+			// Records written before versions were logged: recompute.
+			ver = 1
+			if old != nil {
+				ver = old.version + 1
+			}
 		}
 		sh.recs[rec.Module] = &record{set: rec.Examples, keyed: rec.Examples.KeyedInterned(s.symtab), hash: rec.Hash, version: ver, seq: rec.Seq}
-	case opDelete:
+	case OpDelete:
 		delete(sh.recs, rec.Module)
 	}
 	if rec.Seq > s.seq {
@@ -300,8 +314,13 @@ func (s *Store) Put(id string, set dataexample.Set) (hash string, changed bool, 
 	}
 
 	seq := s.seq + 1
+	ver := uint64(1)
+	if old != nil {
+		ver = old.version + 1
+	}
+	rec := Record{Seq: seq, Op: OpPut, Module: id, Hash: h, Version: ver, Examples: set}
 	if s.wal != nil {
-		if err := s.wal.append(walRecord{Seq: seq, Op: opPut, Module: id, Hash: h, Examples: set}); err != nil {
+		if err := s.wal.append(rec); err != nil {
 			return "", false, err
 		}
 		s.met.walAppends.Inc()
@@ -317,13 +336,10 @@ func (s *Store) Put(id string, set dataexample.Set) (hash string, changed bool, 
 	s.appends++
 
 	sh.mu.Lock()
-	ver := uint64(1)
-	if old != nil {
-		ver = old.version + 1
-	}
 	sh.recs[id] = &record{set: set, keyed: keyed, hash: h, version: ver, seq: seq}
 	sh.mu.Unlock()
 	s.puts.Add(1)
+	s.repl.push(rec)
 
 	if s.opts.CompactEvery > 0 && s.appends >= s.opts.CompactEvery {
 		if err := s.snapshotLocked(); err != nil {
@@ -349,8 +365,9 @@ func (s *Store) Delete(id string) error {
 		return fmt.Errorf("store: closed")
 	}
 	seq := s.seq + 1
+	rec := Record{Seq: seq, Op: OpDelete, Module: id}
 	if s.wal != nil {
-		if err := s.wal.append(walRecord{Seq: seq, Op: opDelete, Module: id}); err != nil {
+		if err := s.wal.append(rec); err != nil {
 			return err
 		}
 		s.met.walAppends.Inc()
@@ -368,6 +385,7 @@ func (s *Store) Delete(id string) error {
 	delete(sh.recs, id)
 	sh.mu.Unlock()
 	s.deletes.Add(1)
+	s.repl.push(rec)
 	return nil
 }
 

@@ -3,6 +3,7 @@ package store
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -17,13 +18,17 @@ import (
 //	file   = magic frame*
 //	magic  = "DEXAWAL1"                       (8 bytes)
 //	frame  = length(uint32 BE) crc32(uint32 BE) payload
-//	payload = JSON walRecord, `length` bytes, IEEE CRC-32 `crc32`
+//	payload = JSON Record, `length` bytes, IEEE CRC-32 `crc32`
 //
 // Appends go to the end of the file; a crash can only damage the final
 // frame. Replay accepts every frame whose length and checksum verify and
 // truncates the file back to the last good frame when it meets a torn or
 // corrupt tail, so a mid-write crash loses at most the records after the
 // last sync and never poisons the store.
+//
+// The same physical frame format carries records over the replication
+// feed (GET /wal): EncodeFrame and FrameReader are the two halves of it,
+// shared by the disk log and the wire.
 
 const walMagic = "DEXAWAL1"
 
@@ -34,19 +39,85 @@ const walFrameOverhead = 8
 // cannot make replay attempt a multi-gigabyte allocation.
 const maxWALRecordSize = 64 << 20
 
+// Mutation operations as logged in Record.Op.
 const (
-	opPut    = "put"
-	opDelete = "delete"
+	OpPut    = "put"
+	OpDelete = "delete"
 )
 
-// walRecord is one logged mutation.
-type walRecord struct {
+// Record is one logged mutation: the unit of WAL replay and of
+// leader-to-follower replication. Version is the per-module change count
+// at the time of the mutation; replay falls back to recomputing it when
+// absent (records written by older versions of the store).
+type Record struct {
 	Seq      uint64          `json:"seq"`
 	Op       string          `json:"op"`
 	Module   string          `json:"module"`
 	Hash     string          `json:"hash,omitempty"`
+	Version  uint64          `json:"version,omitempty"`
 	Examples dataexample.Set `json:"examples,omitempty"`
 }
+
+// EncodeFrame wraps one payload in the WAL's physical frame format:
+// length, CRC-32, payload. The disk log and the replication feed both
+// emit frames this way, so a follower verifies end-to-end integrity with
+// the same checksum the crash-recovery path uses.
+func EncodeFrame(payload []byte) []byte {
+	frame := make([]byte, walFrameOverhead+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+	return frame
+}
+
+// ErrTornFrame reports a frame whose length, payload or checksum did not
+// verify: the stream is damaged (or was cut) at that point. For the disk
+// log this marks the truncation offset; for the replication feed it
+// aborts the batch so the follower re-requests from its last good
+// sequence.
+var ErrTornFrame = errors.New("store: torn or corrupt frame")
+
+// FrameReader decodes a stream of EncodeFrame frames. Next returns each
+// verified payload in order, io.EOF at a clean end, and ErrTornFrame when
+// the stream is damaged mid-frame. Consumed reports how many bytes of
+// intact frames were read — the truncation point when the tail is torn.
+type FrameReader struct {
+	r        io.Reader
+	header   [walFrameOverhead]byte
+	consumed int64
+}
+
+// NewFrameReader wraps r for frame-by-frame decoding.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: r}
+}
+
+// Next returns the next verified payload.
+func (fr *FrameReader) Next() ([]byte, error) {
+	if _, err := io.ReadFull(fr.r, fr.header[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF // clean end
+		}
+		return nil, ErrTornFrame // torn frame header
+	}
+	length := binary.BigEndian.Uint32(fr.header[0:4])
+	sum := binary.BigEndian.Uint32(fr.header[4:8])
+	if length > maxWALRecordSize {
+		return nil, ErrTornFrame // corrupt length prefix
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		return nil, ErrTornFrame // torn payload
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, ErrTornFrame // bit rot / partial overwrite
+	}
+	fr.consumed += walFrameOverhead + int64(length)
+	return payload, nil
+}
+
+// Consumed returns the byte count of fully verified frames read so far.
+func (fr *FrameReader) Consumed() int64 { return fr.consumed }
 
 // walWriter appends frames to an open WAL file.
 type walWriter struct {
@@ -83,15 +154,12 @@ func openWAL(path string, size int64, records int64) (*walWriter, error) {
 
 // append frames and writes one record. It does not sync; callers decide
 // the durability point (per-put or explicit Flush).
-func (w *walWriter) append(rec walRecord) error {
+func (w *walWriter) append(rec Record) error {
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("store: encoding wal record: %w", err)
 	}
-	frame := make([]byte, walFrameOverhead+len(payload))
-	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
-	copy(frame[8:], payload)
+	frame := EncodeFrame(payload)
 	if _, err := w.f.Write(frame); err != nil {
 		return fmt.Errorf("store: appending wal record: %w", err)
 	}
@@ -137,7 +205,7 @@ func (w *walWriter) close() error {
 // caller truncates the file there before appending again. A missing file
 // replays to nothing. Damage before the tail — an unreadable header —
 // is a hard error: it means the file is not a WAL at all.
-func replayWAL(path string) (recs []walRecord, goodSize int64, truncatedAt int64, err error) {
+func replayWAL(path string) (recs []Record, goodSize int64, truncatedAt int64, err error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return nil, 0, -1, nil
@@ -156,32 +224,20 @@ func replayWAL(path string) (recs []walRecord, goodSize int64, truncatedAt int64
 	if string(magic) != walMagic {
 		return nil, 0, -1, fmt.Errorf("store: %s is not a wal (bad magic)", path)
 	}
-	offset := int64(len(walMagic))
-	header := make([]byte, walFrameOverhead)
+	fr := NewFrameReader(f)
 	for {
-		if _, err := io.ReadFull(f, header); err != nil {
-			if err == io.EOF {
-				return recs, offset, -1, nil // clean end
-			}
-			return recs, offset, offset, nil // torn frame header
+		offset := int64(len(walMagic)) + fr.Consumed()
+		payload, err := fr.Next()
+		if err == io.EOF {
+			return recs, offset, -1, nil // clean end
 		}
-		length := binary.BigEndian.Uint32(header[0:4])
-		sum := binary.BigEndian.Uint32(header[4:8])
-		if length > maxWALRecordSize {
-			return recs, offset, offset, nil // corrupt length prefix
+		if err != nil {
+			return recs, offset, offset, nil // torn or corrupt tail
 		}
-		payload := make([]byte, length)
-		if _, err := io.ReadFull(f, payload); err != nil {
-			return recs, offset, offset, nil // torn payload
-		}
-		if crc32.ChecksumIEEE(payload) != sum {
-			return recs, offset, offset, nil // bit rot / partial overwrite
-		}
-		var rec walRecord
+		var rec Record
 		if err := json.Unmarshal(payload, &rec); err != nil {
 			return recs, offset, offset, nil // checksummed but undecodable
 		}
-		offset += walFrameOverhead + int64(length)
 		recs = append(recs, rec)
 	}
 }
