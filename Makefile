@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race race-store race-match race-lifecycle race-columnar race-cluster cluster-smoke bench bench-smoke bench-overhead bench-match bench-columnar experiments
+.PHONY: ci vet build test race race-store race-match race-lifecycle race-columnar race-cluster race-search cluster-smoke bench bench-smoke bench-overhead bench-match bench-columnar bench-search experiments
 
-ci: vet build race race-store race-match race-lifecycle race-columnar race-cluster cluster-smoke bench-smoke bench-overhead bench-match bench-columnar
+ci: vet build race race-store race-match race-lifecycle race-columnar race-cluster race-search cluster-smoke bench-smoke bench-overhead bench-match bench-columnar bench-search
 
 vet:
 	$(GO) vet ./...
@@ -79,6 +79,23 @@ race-cluster:
 cluster-smoke:
 	$(GO) test -run TestClusterSmokeFullCatalog -count=1 ./internal/serve/
 	$(GO) test -run 'TestRun' -count=1 ./cmd/dexa-load/
+
+# Search concurrency: queries and pagination racing Update/Remove on the
+# live index, the availability hook firing from parallel registry
+# mutations, and the serve-layer search/compose endpoints (single-node
+# and scatter-gather), with more iterations than the catch-all race run
+# gives them.
+race-search:
+	$(GO) test -race -count=2 ./internal/search/
+	$(GO) test -race -count=2 -run 'TestSearch|TestClusterSearch|TestCompose' ./internal/serve/
+
+# Search-index gate: ranked queries must be deterministic, an index
+# maintained incrementally through Update/Remove churn must answer a
+# three-family query battery identically to a fresh build, and walking
+# small pages must reassemble exactly the full ranked list. Gates
+# results, not timings — safe on any host.
+bench-search:
+	$(GO) run ./cmd/dexa-bench -search-only
 
 # Telemetry-overhead gate: generation with a live metrics registry must
 # stay within 5% of the no-op recorder. Remeasures once on failure to

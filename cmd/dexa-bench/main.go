@@ -12,6 +12,7 @@
 //	dexa-bench -baseline old.json -tolerance 0.15
 //	dexa-bench -match-only                          # match-equality gate only (no snapshot)
 //	dexa-bench -columnar-only                       # columnar-core gate only (no snapshot)
+//	dexa-bench -search-only                         # search-index gate only (no snapshot)
 //
 // Every measurement pairs a baseline implementation with its optimized
 // counterpart (sequential loop vs worker-pool sweep, cold vs warm
@@ -41,6 +42,7 @@ import (
 	"dexa/internal/match"
 	"dexa/internal/module"
 	"dexa/internal/resilient"
+	"dexa/internal/search"
 	"dexa/internal/simulation"
 	"dexa/internal/simulation/bio"
 	"dexa/internal/store"
@@ -83,6 +85,7 @@ func main() {
 	overheadTol := flag.Float64("overhead-tolerance", 0.05, "allowed fractional slowdown of instrumented generation over the no-op recorder")
 	matchOnly := flag.Bool("match-only", false, "run only the match-equality gate (no snapshot); exit non-zero when the indexed search diverges from the exhaustive one or pruning falls short of the mapping-infeasible fraction")
 	columnarOnly := flag.Bool("columnar-only", false, "run only the columnar-core gate (no snapshot); exit non-zero when interned-ID alignment diverges from the string-keyed oracle, the incremental matrix diverges from a full build, or the scratch hot paths exceed their allocation budget")
+	searchOnly := flag.Bool("search-only", false, "run only the search-index gate (no snapshot); exit non-zero when ranked queries are nondeterministic, an incrementally maintained index diverges from a fresh build, or paginated pages fail to reassemble the full ranked list")
 	flag.Parse()
 	if *out == "" {
 		*out = "BENCH_" + time.Now().Format("2006-01-02") + ".json"
@@ -379,6 +382,132 @@ func main() {
 		return
 	}
 
+	// Search gate: the behavior-aware index must answer deterministically
+	// (repeated queries return identical ranked hits), an index maintained
+	// by Update/Remove churn must be indistinguishable from one rebuilt
+	// from scratch, and pagination must be a pure window — walking small
+	// pages reassembles exactly the full ranked list.
+	checkSearch := func() bool {
+		failed := false
+		fail := func(format string, args ...any) {
+			failed = true
+			fmt.Fprintf(os.Stderr, "SEARCH GATE FAILURE: "+format+"\n", args...)
+		}
+		sets := map[string]dataexample.Set{}
+		for _, m := range mods {
+			if s, _, err := u.Gen.Generate(m); err == nil && len(s) > 0 {
+				sets[m.ID] = s
+			}
+		}
+		build := func() *search.Index {
+			ix := search.New(u.Ont)
+			for _, m := range mods {
+				ix.Update(m, sets[m.ID], 0)
+			}
+			return ix
+		}
+		// One battery per query family plus mixed forms, so divergence in
+		// any posting kind (keyword TF-IDF, concept subsumption, behavior
+		// fingerprint) trips the gate.
+		battery := []string{
+			"record",
+			"sequence alignment",
+			"concept:ProteinSequence",
+			"alignment concept:DNASequence",
+			"behaves:blastSearch",
+			"summary concept:AccessionList behaves:translateDNA",
+		}
+		queries := make([]search.Query, 0, len(battery))
+		raws := make([]string, 0, len(battery))
+		for _, raw := range battery {
+			q, err := search.ParseQuery(raw)
+			if err != nil {
+				fail("battery query %q does not parse: %v", raw, err)
+				continue
+			}
+			queries = append(queries, q)
+			raws = append(raws, raw)
+		}
+		fresh := build()
+		// Determinism: same index, same query, same ranked hits.
+		for i, q := range queries {
+			first, _ := fresh.Match(q)
+			if len(first) == 0 {
+				fail("battery query %q matched nothing — the gate would be vacuous", raws[i])
+				continue
+			}
+			for rep := 0; rep < 3; rep++ {
+				if again, _ := fresh.Match(q); !reflect.DeepEqual(first, again) {
+					fail("query %q returned different hits on repeat %d", raws[i], rep+1)
+					break
+				}
+			}
+		}
+		// Incremental maintenance: remove, re-add without an annotation,
+		// restore the annotation; the churned index must answer every
+		// battery query exactly like a fresh build.
+		churned := build()
+		for _, id := range []string{"blastSearch", "translateDNA", "getUniprotRecord"} {
+			e, ok := u.Catalog.Get(id)
+			if !ok {
+				fail("churn module %s missing from catalog", id)
+				continue
+			}
+			churned.Remove(id)
+			churned.Update(e.Module, nil, 1)      // annotation lost
+			churned.Update(e.Module, sets[id], 2) // annotation restored
+		}
+		churned.Remove("no-such-module") // absent doc: must be a no-op
+		for i, q := range queries {
+			want, _ := fresh.Match(q)
+			got, _ := churned.Match(q)
+			if !reflect.DeepEqual(want, got) {
+				fail("churned index diverges from fresh build on %q (%d vs %d hits)", raws[i], len(got), len(want))
+			}
+		}
+		// Pagination: limit-2 pages walked to exhaustion must concatenate
+		// into the unwindowed ranking.
+		for i, q := range queries {
+			full, err := fresh.Search(q, 0, "")
+			if err != nil {
+				fail("unwindowed search %q: %v", raws[i], err)
+				continue
+			}
+			var walked []search.Hit
+			cur := ""
+			for pages := 0; ; pages++ {
+				page, err := fresh.Search(q, 2, cur)
+				if err != nil {
+					fail("page %d of %q: %v", pages, raws[i], err)
+					break
+				}
+				walked = append(walked, page.Hits...)
+				if page.NextCursor == "" {
+					if len(walked) != len(full.Hits) ||
+						(len(walked) > 0 && !reflect.DeepEqual(walked, full.Hits)) {
+						fail("page walk of %q reassembled %d hits, want the full %d-hit ranking", raws[i], len(walked), len(full.Hits))
+					}
+					break
+				}
+				cur = page.NextCursor
+				if pages > len(full.Hits) {
+					fail("page walk of %q did not terminate", raws[i])
+					break
+				}
+			}
+		}
+		if !failed {
+			fmt.Fprintf(os.Stderr, "search gate: %d queries deterministic, incremental == fresh, pages reassemble the ranking\n", len(queries))
+		}
+		return failed
+	}
+	if *searchOnly {
+		if checkSearch() {
+			os.Exit(1)
+		}
+		return
+	}
+
 	// Telemetry-overhead gate: the same generation loop through the full
 	// resilient stack, once with a nil registry (every recorder a no-op)
 	// and once with a live registry recording every counter and histogram.
@@ -613,6 +742,39 @@ func main() {
 		}
 	})
 
+	// Behavior-aware search: the cold inverted-index build over the full
+	// annotated catalog (what dexa-serve pays at boot) vs the warm steady
+	// state where one built index answers a ranked three-family query.
+	searchQ, err := search.ParseQuery("alignment concept:ProteinSequence behaves:blastSearch")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	run("search-index/cold-build", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ix := search.New(u.Ont)
+			for _, m := range mods {
+				ix.Update(m, matrixSets[m.ID], 0)
+			}
+			if ix.Len() != len(mods) {
+				b.Fatal("short index")
+			}
+		}
+	})
+	warmSearch := search.New(u.Ont)
+	for _, m := range mods {
+		warmSearch.Update(m, matrixSets[m.ID], 0)
+	}
+	run("search-query/warm", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if hits, _ := warmSearch.Match(searchQ); len(hits) == 0 {
+				b.Fatal("no hits")
+			}
+		}
+	})
+
 	// Ontology reasoning: cold (cache rebuilt each call, the pre-cache
 	// behaviour) vs warm (memoized steady state).
 	run("ontology-partitions/cold", func(b *testing.B) {
@@ -808,6 +970,7 @@ func main() {
 
 	matchFailed := checkMatch()
 	columnarFailed := checkColumnar()
+	searchFailed := checkSearch()
 	overheadFailed := checkOverhead(true)
 	// Informational: full request-style tracing on top of live metrics.
 	// Spans in the per-combination hot loop make this measurably slower;
@@ -838,6 +1001,7 @@ func main() {
 			speedup("set alignment key interning", "compare-sets/unkeyed", "compare-sets/keyed"),
 			speedup("match matrix index pruning", "match-matrix/cold", "match-matrix/warm"),
 			speedup("match matrix incremental steady state", "match-matrix/warm", "match-matrix/incremental"),
+			speedup("search query vs index rebuild", "search-index/cold-build", "search-query/warm"),
 			speedup("ontology reachability cache", "ontology-partitions/cold", "ontology-partitions/warm"),
 			speedup("homology search sharding", "homology-search/sequential", "homology-search/sharded"),
 			speedup("store read vs write", "store-write/put", "store-read/get"),
@@ -863,7 +1027,7 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "snapshot written to %s\n", *out)
 
-	failed := overheadFailed || matchFailed || columnarFailed
+	failed := overheadFailed || matchFailed || columnarFailed || searchFailed
 	if *baseline != "" {
 		failed = checkRegression(rep, *baseline, *tolerance) || failed
 	}

@@ -7,6 +7,17 @@
 //	dexa-explore getRecordSummary          # card for one module
 //	dexa-explore -search record            # find modules by name/description
 //	dexa-explore -kind filtering           # list modules of one kind
+//	dexa-explore -query "alignment concept:CProtSequence"
+//	dexa-explore -query "behaves:blastSearch"
+//
+// -query runs the ranked behavior-aware search (the same index GET
+// /api/search serves): free keywords score TF-IDF over names and
+// descriptions, concept:<Concept> atoms expand through the ontology's
+// subsumption hierarchy, and behaves:<moduleID> atoms find the modules
+// whose generated data examples fingerprint to the anchor's behavior
+// class — the paper's annotation-driven notion of "does the same
+// thing". Behavior atoms annotate the catalog first (deterministic, so
+// repeated runs rank identically).
 package main
 
 import (
@@ -14,22 +25,31 @@ import (
 	"fmt"
 	"os"
 
+	"dexa/internal/dataexample"
 	"dexa/internal/explore"
 	"dexa/internal/module"
+	"dexa/internal/search"
 	"dexa/internal/simulation"
 )
 
 func main() {
-	search := flag.String("search", "", "list modules matching a query")
+	searchFlag := flag.String("search", "", "list modules matching a query")
 	kind := flag.String("kind", "", "list modules of a kind (transformation|retrieval|mapping|filtering|analysis)")
+	query := flag.String("query", "", "ranked behavior-aware search (keywords, concept:<C>, behaves:<moduleID>)")
+	limit := flag.Int("limit", 15, "ranked hits shown by -query")
 	flag.Parse()
 
 	fmt.Fprintln(os.Stderr, "building experimental universe...")
 	u := simulation.NewUniverse()
 
 	switch {
-	case *search != "":
-		for _, m := range u.Registry.Search(*search) {
+	case *query != "":
+		if err := runQuery(u, *query, *limit); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *searchFlag != "":
+		for _, m := range u.Registry.Search(*searchFlag) {
 			fmt.Printf("%-28s %-22s %s\n", m.ID, m.Kind, m.Description)
 		}
 	case *kind != "":
@@ -54,9 +74,51 @@ func main() {
 		}
 		fmt.Print(explore.Card(e.Module, set, rep))
 	default:
-		fmt.Fprintln(os.Stderr, "usage: dexa-explore <module-id> | -search <q> | -kind <k>")
+		fmt.Fprintln(os.Stderr, "usage: dexa-explore <module-id> | -query <q> | -search <q> | -kind <k>")
 		os.Exit(2)
 	}
+}
+
+// runQuery builds the behavior-aware index over the simulated catalog
+// and prints the ranked page. Example sets — the behavior postings —
+// are only generated when the query actually carries behaves: atoms;
+// keyword and concept search need nothing but the signatures.
+func runQuery(u *simulation.Universe, raw string, limit int) error {
+	q, err := search.ParseQuery(raw)
+	if err != nil {
+		return err
+	}
+	ix := search.New(u.Ont)
+	needSets := len(q.Behaves) > 0
+	if needSets {
+		fmt.Fprintln(os.Stderr, "annotating the catalog for behavior-class search...")
+	}
+	for _, m := range u.Registry.Modules() {
+		var set dataexample.Set
+		if needSets {
+			if s, _, err := u.Gen.Generate(m); err == nil {
+				set = s
+			}
+		}
+		ix.Update(m, set, 0)
+	}
+	page, err := ix.Search(q, limit, "")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d modules match %q (showing %d)\n\n", page.Total, raw, len(page.Hits))
+	fmt.Printf("%-8s %-28s %-16s %s\n", "SCORE", "MODULE", "KIND", "MATCHED")
+	for _, h := range page.Hits {
+		matched := ""
+		for i, m := range h.Matched {
+			if i > 0 {
+				matched += " "
+			}
+			matched += m
+		}
+		fmt.Printf("%-8.3f %-28s %-16s %s\n", h.Score, h.ID, h.Kind, matched)
+	}
+	return nil
 }
 
 func kindByName(s string) (module.Kind, bool) {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	neturl "net/url"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -30,8 +31,9 @@ type Config struct {
 }
 
 // kinds are the request classes a mix may weight. Module-scoped kinds
-// need at least one annotated module in the catalog.
-var kinds = []string{"examples", "substitutes", "matches", "catalog", "stats"}
+// need at least one annotated module in the catalog; compose also needs
+// module signatures, discovered alongside the catalog.
+var kinds = []string{"examples", "substitutes", "matches", "catalog", "stats", "search", "compose"}
 
 func knownKind(k string) bool {
 	for _, known := range kinds {
@@ -138,6 +140,10 @@ type loader struct {
 	// modules are the annotated module IDs discovered from the catalog;
 	// module-scoped request kinds draw from this list.
 	modules []string
+	// sigs are (input concept, output concept) pairs sampled from module
+	// signatures at discovery; compose requests draw their in/out from
+	// here so the loader stays ontology-agnostic.
+	sigs [][2]string
 
 	issued atomic.Int64 // budget accounting, pre-request
 
@@ -175,13 +181,49 @@ func (l *loader) discover() error {
 		if len(l.modules) == 0 && l.needsModules() {
 			return fmt.Errorf("catalog at %s has no annotated modules; seed the store or restrict -mix to catalog/stats/matches", target)
 		}
+		if l.cfg.Mix["compose"] > 0 {
+			if err := l.discoverSignatures(target); err != nil {
+				return err
+			}
+		}
 		return nil
 	}
 	return fmt.Errorf("no target answered the catalog probe: %w", lastErr)
 }
 
+// discoverSignatures samples module signatures so compose requests can
+// ask for synthesis between concepts the catalog actually connects.
+func (l *loader) discoverSignatures(target string) error {
+	sample := l.modules
+	if len(sample) > 8 {
+		sample = sample[:8]
+	}
+	for _, id := range sample {
+		var info struct {
+			Inputs []struct {
+				Semantic string `json:"semantic"`
+			} `json:"inputs"`
+			Outputs []struct {
+				Semantic string `json:"semantic"`
+			} `json:"outputs"`
+		}
+		if err := l.getJSON(target+l.cfg.APIPrefix+"/modules/"+id, &info); err != nil {
+			continue
+		}
+		if len(info.Inputs) > 0 && len(info.Outputs) > 0 &&
+			info.Inputs[0].Semantic != "" && info.Outputs[0].Semantic != "" {
+			l.sigs = append(l.sigs, [2]string{info.Inputs[0].Semantic, info.Outputs[0].Semantic})
+		}
+	}
+	if len(l.sigs) == 0 {
+		return fmt.Errorf("no module signatures discovered at %s; drop compose from -mix", target)
+	}
+	return nil
+}
+
 func (l *loader) needsModules() bool {
-	return l.cfg.Mix["examples"] > 0 || l.cfg.Mix["substitutes"] > 0
+	return l.cfg.Mix["examples"] > 0 || l.cfg.Mix["substitutes"] > 0 ||
+		l.cfg.Mix["search"] > 0 || l.cfg.Mix["compose"] > 0
 }
 
 func (l *loader) getJSON(url string, into any) error {
@@ -289,6 +331,19 @@ func (l *loader) do(ctx context.Context, seed int64) {
 		url = base + "/catalog"
 	case "stats":
 		url = base + "/stats"
+	case "search":
+		// Alternate keyword and behavior-class queries over the annotated
+		// catalog; both are cheap and exercise different posting families.
+		id := l.modules[rng.Intn(len(l.modules))]
+		q := id
+		if rng.Intn(3) == 0 {
+			q = "behaves:" + id
+		}
+		url = base + "/search?q=" + neturl.QueryEscape(q)
+	case "compose":
+		sig := l.sigs[rng.Intn(len(l.sigs))]
+		url = base + "/compose?in=" + neturl.QueryEscape(sig[0]) +
+			"&out=" + neturl.QueryEscape(sig[1]) + "&limit=3"
 	}
 
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)

@@ -16,8 +16,12 @@
 //
 //	dexa-load -targets http://127.0.0.1:8081,http://127.0.0.1:8082 \
 //	          -users 8 -duration 30s \
-//	          -mix examples=6,substitutes=2,matches=1,catalog=1 \
+//	          -mix examples=6,search=3,substitutes=2,matches=1,compose=1 \
 //	          -o load.json
+//
+// The search kind alternates keyword and behaves: queries over the
+// annotated catalog; compose asks for workflow synthesis between
+// concept pairs sampled from module signatures at discovery.
 //
 // A -requests budget bounds the run regardless of -duration (whichever
 // ends first), which keeps CI smoke runs cheap and deterministic.
@@ -42,7 +46,7 @@ func main() {
 	rate := flag.Float64("rate", 50, "open loop: requests per second")
 	duration := flag.Duration("duration", 10*time.Second, "how long to drive traffic")
 	requests := flag.Int("requests", 0, "total request budget (0 = bounded by -duration only)")
-	mix := flag.String("mix", "examples=6,substitutes=2,matches=1,catalog=1,stats=1", "endpoint mix as kind=weight pairs")
+	mix := flag.String("mix", "examples=6,search=3,substitutes=2,matches=1,catalog=1,stats=1,compose=1", "endpoint mix as kind=weight pairs")
 	seed := flag.Int64("seed", 1, "seed for the deterministic request stream")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
 	out := flag.String("o", "", "write the JSON report here (default stdout)")

@@ -69,6 +69,7 @@ import (
 	"dexa/internal/faults"
 	"dexa/internal/lifecycle"
 	"dexa/internal/match"
+	"dexa/internal/search"
 	"dexa/internal/serve"
 	"dexa/internal/simulation"
 	"dexa/internal/store"
@@ -158,19 +159,34 @@ func main() {
 	// quarantine) must bump the index generation, or cached /substitutes
 	// responses keep ranking retired modules.
 	serve.SyncIndex(u.Registry, cmp.Index)
+
+	// Repository search: the inverted index over catalog metadata and
+	// stored behavior fingerprints behind GET /api/search. Incremental
+	// maintenance only — availability flips patch single documents, the
+	// replication-cursor watcher folds in store writes (local generates,
+	// replicated WAL applies), and the lifecycle watcher mirrors
+	// quarantine/retire/readmit events. No rebuilds after this one.
+	searchIx := search.New(u.Ont)
+	searchIx.Instrument(metrics)
+	searchSync := &search.Syncer{Registry: u.Registry, Store: st, Index: searchIx}
+	fmt.Fprintf(os.Stderr, "search: indexed %d modules\n", searchSync.IndexAll())
+	searchSync.HookAvailability()
+
 	api := &serve.Server{
-		Registry:  u.Registry,
-		Store:     st,
-		Source:    source,
-		Comparer:  cmp,
-		Telemetry: metrics,
-		Tracer:    tracer,
-		Logger:    logger,
+		Registry:    u.Registry,
+		Store:       st,
+		Source:      source,
+		Comparer:    cmp,
+		SearchIndex: searchIx,
+		Telemetry:   metrics,
+		Tracer:      tracer,
+		Logger:      logger,
 	}
 
 	// Live catalog lifecycle: background probes, quarantine/recovery, and
 	// the repair queue. Journals live beside the store when one is on disk.
 	var preStop []func() error
+	var searchEventLog *lifecycle.Log
 	if *probeInterval > 0 {
 		eventPath, queuePath := "", ""
 		if *storeDir != "" {
@@ -211,6 +227,7 @@ func main() {
 		}
 		tracked := mgr.TrackAll()
 		api.Lifecycle = mgr
+		searchEventLog = lcLog
 		probeCtx, stopProbes := context.WithCancel(context.Background())
 		probeDone := make(chan error, 1)
 		go func() { probeDone <- mgr.Run(probeCtx) }()
@@ -236,6 +253,15 @@ func main() {
 	// checker, follower and server all stop on the same SIGTERM.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Search-index maintenance loops: the replication-cursor watcher folds
+	// in every store write (local or WAL-applied), and the lifecycle
+	// watcher mirrors the event log so quarantined modules leave the
+	// results as fast as they leave the catalog.
+	go searchSync.Watch(ctx)
+	if searchEventLog != nil {
+		go searchSync.WatchLog(ctx, searchEventLog)
+	}
 
 	// Cluster wiring: a shard node leads its slice of the catalog (WAL
 	// feed at /wal, scatter-gather queries, per-shard health checks); a

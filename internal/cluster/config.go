@@ -26,7 +26,7 @@ import (
 type Config struct {
 	// VirtualNodes is the per-shard point count on the hash ring
 	// (0 selects DefaultVirtualNodes).
-	VirtualNodes int `json:"virtualNodes,omitempty"`
+	VirtualNodes int           `json:"virtualNodes,omitempty"`
 	Shards       []ShardConfig `json:"shards"`
 }
 

@@ -7,14 +7,14 @@ import "dexa/internal/telemetry"
 // runs unchanged without telemetry wired.
 type Metrics struct {
 	// Replication: the leader-side feed and the follower-side tailer.
-	FeedRequests  *telemetry.Counter
-	FeedRecords   *telemetry.Counter
-	FeedResets    *telemetry.Counter
-	Applied       *telemetry.Counter
-	Resets        *telemetry.Counter
-	TailErrors    *telemetry.Counter
-	LeaderSeq     *telemetry.Gauge
-	LocalSeq      *telemetry.Gauge
+	FeedRequests   *telemetry.Counter
+	FeedRecords    *telemetry.Counter
+	FeedResets     *telemetry.Counter
+	Applied        *telemetry.Counter
+	Resets         *telemetry.Counter
+	TailErrors     *telemetry.Counter
+	LeaderSeq      *telemetry.Gauge
+	LocalSeq       *telemetry.Gauge
 	ReplicationLag *telemetry.Gauge
 
 	// Scatter-gather: per-endpoint fan-outs and per-shard failures.

@@ -15,6 +15,7 @@ import (
 
 	"dexa/internal/dataexample"
 	"dexa/internal/match"
+	"dexa/internal/search"
 )
 
 // Router is the scatter-gather side of the cluster: it fans a substitute
@@ -242,6 +243,93 @@ func (rt *Router) Substitutes(ctx context.Context, target, hash string, examples
 		return a.ID < b.ID
 	})
 	sort.Slice(out.Skipped, func(i, j int) bool { return out.Skipped[i].ID < out.Skipped[j].ID })
+	return out, nil
+}
+
+// SearchResult is the merged cluster-wide ranking for one query. The
+// StateKey concatenates every shard's index generation — the scatter
+// path derives its pagination generation and ETag from it, so a page
+// walk restarts when any shard's index moves, exactly as a single
+// node's walk restarts on its own generation.
+type SearchResult struct {
+	Hits         []search.Hit
+	Partial      bool
+	FailedShards []string
+	StateKey     string
+}
+
+// Search scatter-gathers a repository search. Every shard indexes the
+// full registry (keyword and concept postings are replicated catalog
+// metadata, so per-shard IDF equals single-node IDF) but stores example
+// sets only for its owned modules — so behaves: anchors are first
+// resolved to fingerprints on their owner shards, then the query fans
+// out with the anchors attached and each shard returns hits for the
+// modules it owns. The merged ranking is identical to a single node
+// holding everything; failed shards degrade it to a partial one.
+func (rt *Router) Search(ctx context.Context, rawQuery string, anchors []string) (*SearchResult, error) {
+	resolved := map[string]string{}
+	out := &SearchResult{}
+	if len(anchors) > 0 {
+		byShard := map[string][]string{}
+		for _, id := range anchors {
+			byShard[rt.Ring.Owner(id)] = append(byShard[rt.Ring.Owner(id)], id)
+		}
+		var owners []ShardConfig
+		for _, sh := range rt.Config.Shards {
+			if len(byShard[sh.Name]) > 0 {
+				owners = append(owners, sh)
+			}
+		}
+		results := fanOut(rt, ctx, owners, "search-resolve", func(ctx context.Context, sh ShardConfig) (SearchReply, error) {
+			var reply SearchReply
+			err := rt.call(ctx, http.MethodPost, strings.TrimSuffix(sh.URL, "/"), "/cluster/search",
+				SearchRequest{Resolve: byShard[sh.Name]}, &reply)
+			return reply, err
+		})
+		for _, res := range results {
+			if res.err != nil {
+				// An unresolved anchor silently weakens the ranking; flag it.
+				out.Partial = true
+				out.FailedShards = append(out.FailedShards, res.shard.Name)
+				continue
+			}
+			for id, fp := range res.reply.Fingerprints {
+				resolved[id] = fp
+			}
+		}
+	}
+
+	results := fanOut(rt, ctx, rt.Config.Shards, "search", func(ctx context.Context, sh ShardConfig) (SearchReply, error) {
+		var reply SearchReply
+		err := rt.call(ctx, http.MethodPost, strings.TrimSuffix(sh.URL, "/"), "/cluster/search",
+			SearchRequest{Query: rawQuery, Anchors: resolved}, &reply)
+		return reply, err
+	})
+	var keyParts []string
+	for _, res := range results {
+		if res.err != nil {
+			out.Partial = true
+			out.FailedShards = append(out.FailedShards, res.shard.Name)
+			continue
+		}
+		out.Hits = append(out.Hits, res.reply.Hits...)
+		keyParts = append(keyParts, fmt.Sprintf("%s:%d", res.shard.Name, res.reply.Generation))
+	}
+	if len(keyParts) == 0 {
+		return nil, fmt.Errorf("cluster: no shard reachable for search")
+	}
+	sort.Strings(keyParts)
+	out.StateKey = strings.Join(keyParts, ",")
+	seen := map[string]bool{}
+	for _, name := range out.FailedShards {
+		seen[name] = true
+	}
+	out.FailedShards = out.FailedShards[:0]
+	for name := range seen {
+		out.FailedShards = append(out.FailedShards, name)
+	}
+	sort.Strings(out.FailedShards)
+	search.SortHits(out.Hits)
 	return out, nil
 }
 

@@ -3,6 +3,7 @@ package cluster
 import (
 	"dexa/internal/dataexample"
 	"dexa/internal/match"
+	"dexa/internal/search"
 )
 
 // Wire payloads of the intra-cluster API (mounted by the serving layer
@@ -85,4 +86,27 @@ type MatrixRequest struct {
 type MatrixReply struct {
 	Shard  string             `json:"shard"`
 	Matrix *match.MatchMatrix `json:"matrix"`
+}
+
+// SearchRequest is POST /cluster/search, in one of two modes. With
+// Resolve set, the shard only maps the listed module IDs (behaves:
+// anchors it owns) to their behavior-class fingerprints. Otherwise the
+// shard runs Query against its full-catalog index — with behaves:
+// anchors pre-resolved via Anchors, so every shard scores against the
+// same class even for anchors whose example sets it does not store —
+// and returns the hits for the modules it owns.
+type SearchRequest struct {
+	Query   string            `json:"query,omitempty"`
+	Anchors map[string]string `json:"anchors,omitempty"`
+	Resolve []string          `json:"resolve,omitempty"`
+}
+
+// SearchReply is the shard's slice of the ranking (or the resolved
+// fingerprints in resolve mode). Hits reuse search.Hit so the scattered
+// wire shape cannot drift from the single-node response shape.
+type SearchReply struct {
+	Shard        string            `json:"shard"`
+	Generation   uint64            `json:"generation"`
+	Hits         []search.Hit      `json:"hits,omitempty"`
+	Fingerprints map[string]string `json:"fingerprints,omitempty"`
 }

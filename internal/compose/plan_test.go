@@ -1,0 +1,180 @@
+package compose
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dexa/internal/core"
+	"dexa/internal/dataexample"
+	"dexa/internal/simulation"
+)
+
+// plannerFixture builds a planner over the full simulated universe with a
+// memoizing on-demand example generator.
+func plannerFixture(t *testing.T) *Planner {
+	t.Helper()
+	u := simulation.NewUniverse()
+	gen := core.NewGenerator(u.Ont, u.Pool)
+	cache := map[string]dataexample.Set{}
+	examples := func(id string) (dataexample.Set, bool) {
+		if set, ok := cache[id]; ok {
+			return set, len(set) > 0
+		}
+		e, ok := u.Registry.Get(id)
+		if !ok {
+			cache[id] = nil
+			return nil, false
+		}
+		set, _, err := gen.Generate(e.Module)
+		if err != nil {
+			set = nil
+		}
+		cache[id] = set
+		return set, len(set) > 0
+	}
+	return &Planner{Ont: u.Ont, Reg: u.Registry, Examples: examples}
+}
+
+// TestComposePlanSeedCatalog is the synthesizer acceptance check: asking
+// for DNASequence -> AccessionList on the seed catalog must produce at
+// least one *verified multi-step* plan (transcribe -> translate -> a
+// homology search), and the homology slot must be disambiguated by data
+// examples — the NW, SW and k-mer aligners share one signature but land
+// in distinct behavior classes, each with its variants as equivalents.
+func TestComposePlanSeedCatalog(t *testing.T) {
+	p := plannerFixture(t)
+	plans, err := p.Plan(Constraints{In: simulation.CDNASequence, Out: simulation.CAccList, MaxPlans: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) == 0 {
+		t.Fatal("no plans for DNASequence -> AccessionList")
+	}
+
+	verifiedMulti := false
+	for _, plan := range plans {
+		if plan.Verified && len(plan.Steps) >= 2 {
+			verifiedMulti = true
+			break
+		}
+	}
+	if !verifiedMulti {
+		for _, plan := range plans {
+			t.Logf("plan %s verified=%v rationale=%s", plan.Chain(), plan.Verified, plan.Rationale)
+		}
+		t.Fatal("no verified multi-step plan on the seed catalog")
+	}
+
+	// The aligner trio: distinct plans must cover distinct behavior
+	// classes of the homology-search signature, and within a plan the
+	// aligner step's equivalents must be variants of the same algorithm,
+	// never a different algorithm.
+	algoOf := func(id string) string {
+		for _, base := range []string{"blastSearch", "ssearch", "fastaSearch"} {
+			if id == base || strings.HasPrefix(id, base+"-") {
+				return base
+			}
+		}
+		return ""
+	}
+	classesSeen := map[string]bool{}
+	for _, plan := range plans {
+		for _, step := range plan.Steps {
+			algo := algoOf(step.Module)
+			if algo == "" {
+				continue
+			}
+			classesSeen[algo] = true
+			if step.Alternatives < 3 {
+				t.Errorf("aligner step %s reports %d alternatives, want >= 3 behavior classes", step.Module, step.Alternatives)
+			}
+			for _, eq := range step.Equivalent {
+				if got := algoOf(eq); got != algo {
+					t.Errorf("plan %s: %s lists %s as behavior-equivalent (different algorithm)", plan.Chain(), step.Module, eq)
+				}
+			}
+		}
+	}
+	if len(classesSeen) < 2 {
+		t.Errorf("plans cover %d aligner behavior classes, want >= 2 (got %v)", len(classesSeen), classesSeen)
+	}
+}
+
+// TestComposePlanDeterministic: two independent planning runs over
+// identical catalogs must produce byte-identical plans.
+func TestComposePlanDeterministic(t *testing.T) {
+	cs := Constraints{In: simulation.CDNASequence, Out: simulation.CAccList, MaxPlans: 8}
+	render := func() []byte {
+		p := plannerFixture(t)
+		plans, err := p.Plan(cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		for _, plan := range plans {
+			if err := enc.Encode(plan); err != nil {
+				t.Fatal(err)
+			}
+			if err := plan.Workflow.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("plans differ across runs:\nrun1: %.400s\nrun2: %.400s", a, b)
+	}
+}
+
+// TestComposePlanConstraints: MustAvoid excludes modules, MustUse filters
+// plans, and every emitted plan that claims Verified actually passed
+// workflow.Verify (implied by construction — here we assert the flag is
+// consistent with a non-empty witness).
+func TestComposePlanConstraints(t *testing.T) {
+	p := plannerFixture(t)
+	avoid, err := p.Plan(Constraints{
+		In: simulation.CDNASequence, Out: simulation.CAccList,
+		MustAvoid: []string{simulation.CRNASequence}, MaxPlans: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnaTouching := func(id string) bool {
+		// transcribe (DNA->RNA) and translate (RNA->protein) carry
+		// RNASequence parameters; translateDNA (DNA->protein) does not.
+		for _, base := range []string{"transcribe", "translate"} {
+			if id == base || strings.HasPrefix(id, base+"-") {
+				return true
+			}
+		}
+		return false
+	}
+	for _, plan := range avoid {
+		for _, step := range plan.Steps {
+			if rnaTouching(step.Module) {
+				t.Errorf("MustAvoid RNASequence still produced step %s in %s", step.Module, plan.Chain())
+			}
+		}
+	}
+
+	use, err := p.Plan(Constraints{
+		In: simulation.CDNASequence, Out: simulation.CAccList,
+		MustUse: []string{simulation.CProtSequence}, MaxPlans: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, plan := range use {
+		if !p.planUses(plan, simulation.CProtSequence) {
+			t.Errorf("MustUse ProteinSequence violated by plan %s", plan.Chain())
+		}
+		if plan.Verified && len(plan.Witness) == 0 {
+			t.Errorf("plan %s verified without a witness", plan.Chain())
+		}
+	}
+}

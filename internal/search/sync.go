@@ -1,0 +1,141 @@
+package search
+
+import (
+	"context"
+
+	"dexa/internal/dataexample"
+	"dexa/internal/lifecycle"
+	"dexa/internal/registry"
+	"dexa/internal/store"
+)
+
+// Syncer keeps an Index consistent with the registry and the example
+// store, mirroring how serve.SyncIndex keeps the match.CatalogIndex
+// fresh — but incrementally on both axes:
+//
+//   - availability flips (quarantine, retire, probation re-admission)
+//     arrive through registry.OnAvailabilityChange and translate to a
+//     single Remove or Update;
+//   - store writes (generation, refresh, replication) arrive through the
+//     store's replication cursor; Resync re-indexes only the documents
+//     whose store version moved.
+//
+// Wire it once at startup: IndexAll, HookAvailability, then Watch (and
+// WatchLog when a lifecycle event log exists) on background goroutines.
+type Syncer struct {
+	Registry *registry.Registry
+	Store    *store.Store
+	Index    *Index
+}
+
+// stored fetches a module's stored set and version (empty when the store
+// is absent or the module unannotated — the module still gets keyword
+// and concept postings, just no behavior class).
+func (s *Syncer) stored(id string) (dataexample.Set, uint64) {
+	if s.Store == nil {
+		return nil, 0
+	}
+	set, _, ok := s.Store.Get(id)
+	if !ok {
+		return nil, 0
+	}
+	version, _ := s.Store.Version(id)
+	return set, version
+}
+
+// IndexAll builds the initial index over every available module and
+// returns how many documents it indexed.
+func (s *Syncer) IndexAll() int {
+	n := 0
+	for _, m := range s.Registry.Available() {
+		set, version := s.stored(m.ID)
+		s.Index.Update(m, set, version)
+		n++
+	}
+	return n
+}
+
+// HookAvailability subscribes the index to availability flips: a module
+// going unavailable leaves the results with its next query; one coming
+// back is re-indexed with its stored annotation. The callback runs on
+// the flipping goroutine and touches one document — cheap enough for the
+// registry's no-blocking contract.
+func (s *Syncer) HookAvailability() {
+	s.Registry.OnAvailabilityChange(func(id string, available bool) {
+		if !available {
+			s.Index.Remove(id)
+			return
+		}
+		if e, ok := s.Registry.Get(id); ok {
+			set, version := s.stored(id)
+			s.Index.Update(e.Module, set, version)
+		}
+	})
+}
+
+// Resync re-indexes every available module whose store version differs
+// from the version it was indexed at, and returns how many documents
+// changed. Unchanged documents are not touched — no full rebuild.
+func (s *Syncer) Resync() int {
+	n := 0
+	for _, m := range s.Registry.Available() {
+		set, version := s.stored(m.ID)
+		if have, ok := s.Index.DocVersion(m.ID); ok && have == version {
+			continue
+		}
+		s.Index.Update(m, set, version)
+		n++
+	}
+	return n
+}
+
+// Watch follows the store's replication cursor: every committed write
+// wakes it and triggers a version-diffed Resync. Run it on its own
+// goroutine; it returns when ctx is done.
+func (s *Syncer) Watch(ctx context.Context) {
+	if s.Store == nil {
+		return
+	}
+	for {
+		cursor := s.Store.Seq()
+		s.Resync()
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.Store.ReplicationChanged(cursor):
+		}
+	}
+}
+
+// WatchLog follows the lifecycle event log: every state transition wakes
+// it and re-syncs the affected modules. The availability hook already
+// covers flips made through this registry; the log subscription
+// additionally catches events replayed from a persisted log or applied
+// by a lifecycle manager wired after the hook.
+func (s *Syncer) WatchLog(ctx context.Context, log *lifecycle.Log) {
+	if log == nil {
+		return
+	}
+	cursor := uint64(0)
+	for {
+		events, next := log.Since(cursor, 256)
+		for _, ev := range events {
+			e, ok := s.Registry.Get(ev.Module)
+			if !ok {
+				continue
+			}
+			if !e.Available {
+				s.Index.Remove(ev.Module)
+				continue
+			}
+			set, version := s.stored(ev.Module)
+			s.Index.Update(e.Module, set, version)
+		}
+		cursor = next
+		select {
+		case <-ctx.Done():
+			return
+		case <-log.Changed(cursor):
+		}
+	}
+}

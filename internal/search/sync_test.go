@@ -1,0 +1,105 @@
+package search
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dexa/internal/dataexample"
+	"dexa/internal/registry"
+	"dexa/internal/store"
+)
+
+func syncFixture(t *testing.T) (*registry.Registry, *store.Store, *Syncer) {
+	t.Helper()
+	reg := registry.New()
+	for _, m := range []string{"align", "blast", "trans"} {
+		reg.MustRegister(mod(m, "module "+m, "", "Prot", "Acc"))
+	}
+	st, err := store.Open("", store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	s := &Syncer{Registry: reg, Store: st, Index: New(testOntology())}
+	return reg, st, s
+}
+
+func TestSyncerIndexAllAndResync(t *testing.T) {
+	_, st, s := syncFixture(t)
+	if _, _, err := st.Put("align", dataexample.Set{ex("M", "h1")}); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.IndexAll(); n != 3 {
+		t.Fatalf("IndexAll = %d, want 3", n)
+	}
+	if fp, _ := s.Index.BehaviorClass("align"); fp == "" {
+		t.Fatal("align indexed without its stored behavior class")
+	}
+	if n := s.Resync(); n != 0 {
+		t.Fatalf("idle Resync touched %d docs, want 0", n)
+	}
+	// A store write moves exactly one document.
+	if _, _, err := st.Put("blast", dataexample.Set{ex("M", "h2")}); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Resync(); n != 1 {
+		t.Fatalf("post-write Resync touched %d docs, want 1", n)
+	}
+	if fp, _ := s.Index.BehaviorClass("blast"); fp == "" {
+		t.Fatal("blast not re-indexed after store write")
+	}
+}
+
+// TestSyncerAvailabilityHook: the retire contract — one availability
+// event, and the module is out of the results.
+func TestSyncerAvailabilityHook(t *testing.T) {
+	reg, _, s := syncFixture(t)
+	s.IndexAll()
+	s.HookAvailability()
+
+	if err := reg.SetAvailable("align", false); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := ParseQuery("align")
+	if hits, _ := s.Index.Match(q); len(hits) != 0 {
+		t.Fatalf("retired module still in results: %+v", hits)
+	}
+	if err := reg.SetAvailable("align", true); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := s.Index.Match(q); len(hits) != 1 {
+		t.Fatalf("re-admitted module missing from results")
+	}
+}
+
+// TestSyncerWatch: the replication-cursor loop picks up store writes
+// without an explicit Resync call.
+func TestSyncerWatch(t *testing.T) {
+	_, st, s := syncFixture(t)
+	s.IndexAll()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); s.Watch(ctx) }()
+
+	if _, _, err := st.Put("trans", dataexample.Set{ex("ACGT", "ACGU")}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if fp, _ := s.Index.BehaviorClass("trans"); fp != "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Watch did not index the store write within 5s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Watch did not stop on context cancellation")
+	}
+}

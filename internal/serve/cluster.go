@@ -39,6 +39,7 @@ func (s *Server) clusterRoutes() []route {
 			route{http.MethodGet, "/cluster/sets", s.handleClusterSets},
 			route{http.MethodPost, "/cluster/substitutes", s.handleClusterSubstitutes},
 			route{http.MethodPost, "/cluster/matrix", s.handleClusterMatrix},
+			route{http.MethodPost, "/cluster/search", s.handleClusterSearch},
 		)
 	}
 	return rts

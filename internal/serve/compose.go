@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"dexa/internal/compose"
+	"dexa/internal/dataexample"
+	"dexa/internal/telemetry"
+)
+
+// GET /compose — constraint-guided workflow synthesis over the
+// annotated catalog:
+//
+//	?in=      workflow-level input concept (required)
+//	?out=     workflow-level output concept (required)
+//	?use=     concept that must flow through the plan (repeatable)
+//	?avoid=   concept no step parameter may touch (repeatable)
+//	?like=    module ID whose stored examples bias the ranking
+//	?depth=   maximum chain length in steps (default 4)
+//	?limit=   maximum ranked plans returned (default 5)
+//
+// Each plan chains signature-compatible modules from the input concept
+// to the output concept; slots whose candidates are task-identical by
+// signature are split into behavior classes by comparing their stored
+// data examples, the representative of each class anchors one plan
+// variant, and every emitted plan is verified by enacting it on a seed
+// example. Plans are ranked verified-first and are deterministic for a
+// fixed catalog. In cluster mode, example sets for modules owned by
+// other shards are fetched from their owners; fetch failures degrade
+// the synthesis to a partial one over the reachable annotations.
+
+type composePlan struct {
+	Chain     string             `json:"chain"`
+	Steps     []compose.PlanStep `json:"steps"`
+	Verified  bool               `json:"verified"`
+	Witness   map[string]string  `json:"witness,omitempty"`
+	Rationale string             `json:"rationale,omitempty"`
+	// Workflow is the enactable artifact in the workflow.Save wire
+	// format — feed it to dexa-workflow run or POST it elsewhere.
+	Workflow json.RawMessage `json:"workflow,omitempty"`
+}
+
+type composeResponse struct {
+	In    string        `json:"in"`
+	Out   string        `json:"out"`
+	Plans []composePlan `json:"plans"`
+	Count int           `json:"count"`
+	// Cluster mode only: modules whose example sets could not be fetched
+	// from their owner shard — their behavior classes degraded to
+	// signature-only grouping.
+	Partial       bool     `json:"partial,omitempty"`
+	FailedModules []string `json:"failedModules,omitempty"`
+}
+
+// multiParam reads a repeatable query parameter, splitting comma lists.
+func multiParam(r *http.Request, name string) []string {
+	var out []string
+	for _, v := range r.URL.Query()[name] {
+		for _, part := range strings.Split(v, ",") {
+			if part = strings.TrimSpace(part); part != "" {
+				out = append(out, part)
+			}
+		}
+	}
+	return out
+}
+
+func (s *Server) handleCompose(w http.ResponseWriter, r *http.Request) {
+	if s.Comparer == nil || s.Comparer.Ont == nil {
+		writeError(w, http.StatusNotImplemented, "workflow synthesis is not enabled on this server")
+		return
+	}
+	in := r.URL.Query().Get("in")
+	out := r.URL.Query().Get("out")
+	if in == "" || out == "" {
+		writeError(w, http.StatusBadRequest, "compose requires both ?in= and ?out= concepts")
+		return
+	}
+	depth := 0
+	if v := r.URL.Query().Get("depth"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "invalid depth %q", v)
+			return
+		}
+		depth = n
+	}
+	limit, ok := parseLimitParam(w, r)
+	if !ok {
+		return
+	}
+
+	_, span := telemetry.StartSpan(r.Context(), "compose.plan")
+	span.Annotate("in", in)
+	span.Annotate("out", out)
+	defer span.End()
+
+	examples, failed := s.exampleSource(r.Context())
+	planner := &compose.Planner{
+		Ont:      s.Comparer.Ont,
+		Reg:      s.Registry,
+		Examples: examples,
+		MaxDepth: depth,
+		MaxPlans: limit,
+	}
+	plans, err := planner.Plan(compose.Constraints{
+		In: in, Out: out,
+		MustUse:   multiParam(r, "use"),
+		MustAvoid: multiParam(r, "avoid"),
+		Like:      r.URL.Query().Get("like"),
+		MaxDepth:  depth,
+		MaxPlans:  limit,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := composeResponse{In: in, Out: out, Plans: []composePlan{}}
+	for _, p := range plans {
+		cp := composePlan{
+			Chain:     p.Chain(),
+			Steps:     p.Steps,
+			Verified:  p.Verified,
+			Witness:   p.Witness,
+			Rationale: p.Rationale,
+		}
+		if p.Workflow != nil {
+			var buf bytes.Buffer
+			if err := p.Workflow.Save(&buf); err == nil {
+				cp.Workflow = json.RawMessage(buf.Bytes())
+			}
+		}
+		resp.Plans = append(resp.Plans, cp)
+	}
+	resp.Count = len(resp.Plans)
+	if missed := failed(); len(missed) > 0 {
+		resp.Partial = true
+		resp.FailedModules = missed
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// exampleSource builds the planner's example resolver: the local store,
+// extended in cluster mode with owner-shard fetches for modules this
+// node does not store. The second return value reports (after planning)
+// which remote fetches failed — those modules planned without behavior
+// information rather than failing the whole synthesis.
+func (s *Server) exampleSource(ctx context.Context) (compose.ExampleFunc, func() []string) {
+	var (
+		mu     sync.Mutex
+		memo   = map[string]*dataexample.Set{}
+		failed = map[string]bool{}
+	)
+	fn := func(id string) (dataexample.Set, bool) {
+		if set, _, ok := s.Store.Get(id); ok {
+			return set, true
+		}
+		if !s.clusterMode() || s.Cluster.Owns(id) {
+			return nil, false
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if set, ok := memo[id]; ok {
+			if set == nil {
+				return nil, false
+			}
+			return *set, true
+		}
+		ss, err := s.Cluster.Router.FetchExamples(ctx, id)
+		if err != nil {
+			memo[id] = nil
+			if !strings.Contains(err.Error(), "404") {
+				failed[id] = true
+			}
+			return nil, false
+		}
+		set := ss.Examples
+		memo[id] = &set
+		return set, true
+	}
+	report := func() []string {
+		mu.Lock()
+		defer mu.Unlock()
+		out := make([]string, 0, len(failed))
+		for id := range failed {
+			out = append(out, id)
+		}
+		sort.Strings(out)
+		return out
+	}
+	return fn, report
+}

@@ -19,6 +19,13 @@
 //	GET  /matches                      — the catalog-wide all-pairs verdict matrix over
 //	                                     stored annotations; ETag = catalog state key,
 //	                                     unchanged catalogs serve the cached build
+//	GET  /search                       — ranked behavior-aware repository search
+//	                                     (keywords, concept: expansion, behaves:
+//	                                     classes); paginated, ETag'd on the index
+//	                                     generation (see search.go)
+//	GET  /compose                      — constraint-guided workflow synthesis from an
+//	                                     input concept to an output concept, slots
+//	                                     disambiguated by data examples (see compose.go)
 //	GET  /stats                        — store and generation counters
 //
 // A server wired with a lifecycle.Manager additionally mounts the
@@ -45,6 +52,7 @@ import (
 	"dexa/internal/match"
 	"dexa/internal/module"
 	"dexa/internal/registry"
+	"dexa/internal/search"
 	"dexa/internal/store"
 	"dexa/internal/telemetry"
 )
@@ -76,6 +84,12 @@ type Server struct {
 	// and /substitutes scatter-gather across the ring, and reads of
 	// modules another shard owns redirect to their owner. See cluster.go.
 	Cluster *cluster.Node
+
+	// SearchIndex, when set, mounts GET /search (behavior-aware catalog
+	// search, see search.go) and adds the index block to /stats. The
+	// caller owns keeping it synced to the registry and store — typically
+	// via a search.Syncer's availability hook and replication watcher.
+	SearchIndex *search.Index
 
 	Telemetry *telemetry.Registry
 	Tracer    *telemetry.Tracer
@@ -125,6 +139,8 @@ func (s *Server) routes() []route {
 		{http.MethodPost, "/modules/{id}/generate", s.handleGenerate},
 		{http.MethodGet, "/modules/{id}/substitutes", s.handleSubstitutes},
 		{http.MethodGet, "/matches", s.handleMatches},
+		{http.MethodGet, "/search", s.handleSearch},
+		{http.MethodGet, "/compose", s.handleCompose},
 		{http.MethodGet, "/stats", s.handleStats},
 	}
 	if s.Lifecycle != nil {
@@ -515,6 +531,9 @@ type statsResponse struct {
 	// Cluster describes this node's place in a sharded serving tier:
 	// per-shard health on a shard node, replication lag on a follower.
 	Cluster *clusterStats `json:"cluster,omitempty"`
+	// Search is the search-index block — document, term and posting
+	// counts plus the generation the pagination cursors bind to.
+	Search *search.Stats `json:"search,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -533,5 +552,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Telemetry = &snap
 	}
 	resp.Cluster = s.clusterStatsBlock()
+	if s.SearchIndex != nil {
+		st := s.SearchIndex.Stats()
+		resp.Search = &st
+	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -3,8 +3,25 @@ package workflow
 import (
 	"fmt"
 
+	"dexa/internal/ontology"
+	"dexa/internal/registry"
 	"dexa/internal/typesys"
 )
+
+// Verify is the acceptance check for a synthesized workflow: it must be
+// structurally and semantically valid against the registry and ontology,
+// and it must actually enact on the given workflow-level inputs. The
+// workflow-level outputs of the verification run are returned as the
+// witness.
+func Verify(reg *registry.Registry, ont *ontology.Ontology, w *Workflow, inputs map[string]typesys.Value) (map[string]typesys.Value, error) {
+	if w == nil {
+		return nil, fmt.Errorf("workflow: no workflow to verify")
+	}
+	if err := w.Validate(reg, ont); err != nil {
+		return nil, err
+	}
+	return NewEnactor(reg).Enact(w, inputs)
+}
 
 // VerifyRepair implements the §6 verification step: the repaired workflow
 // is enacted on sample inputs and its results compared with a reference.
