@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race race-store race-match race-lifecycle race-columnar race-cluster race-search cluster-smoke bench bench-smoke bench-overhead bench-match bench-columnar bench-search experiments
+.PHONY: ci vet build test race race-store race-match race-lifecycle race-columnar race-cluster race-search cluster-smoke bench bench-smoke bench-overhead bench-match bench-columnar bench-search bench-write experiments
 
-ci: vet build race race-store race-match race-lifecycle race-columnar race-cluster race-search cluster-smoke bench-smoke bench-overhead bench-match bench-columnar bench-search
+ci: vet build race race-store race-match race-lifecycle race-columnar race-cluster race-search cluster-smoke bench-smoke bench-overhead bench-match bench-columnar bench-search bench-write
 
 vet:
 	$(GO) vet ./...
@@ -18,9 +18,13 @@ race:
 
 # The store's concurrency contract (many readers, one writer, compaction
 # in between) and the serving layer's singleflight path, checked with
-# more iterations than the catch-all race run gives them.
+# more iterations than the catch-all race run gives them. The second
+# line hammers the group committer specifically: concurrent Put/PutBatch
+# and Delete racing Flush and Snapshot against the single committer
+# goroutine, at higher iteration counts than the package-wide pass.
 race-store:
 	$(GO) test -race -count=2 ./internal/store/ ./internal/serve/
+	$(GO) test -race -count=4 -run 'TestGroupCommit|TestPutBatch|TestStoreParallelPut|TestCrashRecovery' ./internal/store/
 
 # One iteration of every benchmark: catches benchmarks that no longer
 # compile or crash without paying for a full measurement run.
@@ -96,6 +100,15 @@ race-search:
 # results, not timings — safe on any host.
 bench-search:
 	$(GO) run ./cmd/dexa-bench -search-only
+
+# Write-path gate: the same concurrent workload through the group
+# committer and the pre-batching per-put-fsync path must converge to
+# identical state, survive close/reopen byte-identically, and mirror
+# byte-identically over the batched compressed feed; group commit at 8
+# writers must clear 2x over per-put fsync (remeasures once to absorb
+# scheduler noise).
+bench-write:
+	$(GO) run ./cmd/dexa-bench -write-only
 
 # Telemetry-overhead gate: generation with a live metrics registry must
 # stay within 5% of the no-op recorder. Remeasures once on failure to

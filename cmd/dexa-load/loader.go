@@ -3,9 +3,11 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	neturl "net/url"
 	"sort"
@@ -32,8 +34,10 @@ type Config struct {
 
 // kinds are the request classes a mix may weight. Module-scoped kinds
 // need at least one annotated module in the catalog; compose also needs
-// module signatures, discovered alongside the catalog.
-var kinds = []string{"examples", "substitutes", "matches", "catalog", "stats", "search", "compose"}
+// module signatures, discovered alongside the catalog. generate is the
+// write path (forced re-annotation through the store) and is opt-in —
+// the default mix stays read-only so a smoke run never mutates state.
+var kinds = []string{"examples", "substitutes", "matches", "catalog", "stats", "search", "compose", "generate"}
 
 func knownKind(k string) bool {
 	for _, known := range kinds {
@@ -59,11 +63,15 @@ type Report struct {
 }
 
 // EndpointStats aggregates one request class (or the whole run).
+// Errors breaks the failures down by coarse class — "timeout",
+// "network", or "status NNN" — so a report distinguishes an overloaded
+// server (timeouts) from a broken route (4xx/5xx) without rerunning.
 type EndpointStats struct {
-	Requests   int         `json:"requests"`
-	Failures   int         `json:"failures"`
-	Throughput float64     `json:"throughputPerSec"`
-	Latency    Percentiles `json:"latencyMs"`
+	Requests   int            `json:"requests"`
+	Failures   int            `json:"failures"`
+	Errors     map[string]int `json:"errors,omitempty"`
+	Throughput float64        `json:"throughputPerSec"`
+	Latency    Percentiles    `json:"latencyMs"`
 }
 
 // Percentiles summarise a latency distribution in milliseconds. P50
@@ -154,6 +162,7 @@ type loader struct {
 type classStats struct {
 	hist     *histogram
 	failures int
+	errors   map[string]int
 }
 
 func newClassStats() *classStats { return &classStats{hist: newHistogram()} }
@@ -223,7 +232,7 @@ func (l *loader) discoverSignatures(target string) error {
 
 func (l *loader) needsModules() bool {
 	return l.cfg.Mix["examples"] > 0 || l.cfg.Mix["substitutes"] > 0 ||
-		l.cfg.Mix["search"] > 0 || l.cfg.Mix["compose"] > 0
+		l.cfg.Mix["search"] > 0 || l.cfg.Mix["compose"] > 0 || l.cfg.Mix["generate"] > 0
 }
 
 func (l *loader) getJSON(url string, into any) error {
@@ -319,6 +328,7 @@ func (l *loader) do(ctx context.Context, seed int64) {
 	target := l.cfg.Targets[rng.Intn(len(l.cfg.Targets))]
 	base := target + l.cfg.APIPrefix
 
+	method := http.MethodGet
 	var url string
 	switch kind {
 	case "examples":
@@ -344,9 +354,15 @@ func (l *loader) do(ctx context.Context, seed int64) {
 		sig := l.sigs[rng.Intn(len(l.sigs))]
 		url = base + "/compose?in=" + neturl.QueryEscape(sig[0]) +
 			"&out=" + neturl.QueryEscape(sig[1]) + "&limit=3"
+	case "generate":
+		// The write path: force re-annotation of a stored module, which
+		// lands on the group-commit path when the content changed and on
+		// the hash no-op path when it did not.
+		method = http.MethodPost
+		url = base + "/modules/" + l.modules[rng.Intn(len(l.modules))] + "/generate?refresh=1"
 	}
 
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	req, err := http.NewRequestWithContext(ctx, method, url, nil)
 	if err != nil {
 		l.record(kind, 0, err)
 		return
@@ -366,9 +382,28 @@ func (l *loader) do(ctx context.Context, seed int64) {
 	resp.Body.Close()
 	// Redirects are followed by the client; anything >= 400 is a failure.
 	if resp.StatusCode >= 400 {
-		err = fmt.Errorf("status %d", resp.StatusCode)
+		err = statusError(resp.StatusCode)
 	}
 	l.record(kind, elapsed, err)
+}
+
+// statusError is an HTTP failure status, kept typed so record can
+// classify it without parsing its message.
+type statusError int
+
+func (s statusError) Error() string { return fmt.Sprintf("status %d", int(s)) }
+
+// errClass buckets a request failure for the per-kind error breakdown.
+func errClass(err error) string {
+	var sc statusError
+	if errors.As(err, &sc) {
+		return sc.Error()
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return "timeout"
+	}
+	return "network"
 }
 
 func (l *loader) record(kind string, elapsed time.Duration, err error) {
@@ -382,6 +417,10 @@ func (l *loader) record(kind string, elapsed time.Duration, err error) {
 	}
 	if err != nil {
 		cs.failures++
+		if cs.errors == nil {
+			cs.errors = map[string]int{}
+		}
+		cs.errors[errClass(err)]++
 		return
 	}
 	cs.hist.observe(ms)
@@ -392,8 +431,7 @@ func (l *loader) report(elapsed time.Duration) *Report {
 	defer l.mu.Unlock()
 
 	secs := elapsed.Seconds()
-	overall := newHistogram()
-	overallFailures := 0
+	overall := &classStats{hist: newHistogram()}
 	endpoints := map[string]*EndpointStats{}
 
 	names := make([]string, 0, len(l.stats))
@@ -407,8 +445,14 @@ func (l *loader) report(elapsed time.Duration) *Report {
 			continue
 		}
 		endpoints[name] = endpointStats(cs, secs)
-		overall.merge(cs.hist)
-		overallFailures += cs.failures
+		overall.hist.merge(cs.hist)
+		overall.failures += cs.failures
+		for class, n := range cs.errors {
+			if overall.errors == nil {
+				overall.errors = map[string]int{}
+			}
+			overall.errors[class] += n
+		}
 	}
 
 	return &Report{
@@ -417,7 +461,7 @@ func (l *loader) report(elapsed time.Duration) *Report {
 		Users:           l.cfg.Users,
 		RatePerSec:      openRate(l.cfg),
 		DurationSeconds: secs,
-		Overall:         endpointStats(&classStats{hist: overall, failures: overallFailures}, secs),
+		Overall:         endpointStats(overall, secs),
 		Endpoints:       endpoints,
 	}
 }
@@ -427,6 +471,12 @@ func endpointStats(cs *classStats, secs float64) *EndpointStats {
 		Requests: int(cs.hist.count) + cs.failures,
 		Failures: cs.failures,
 		Latency:  cs.hist.percentiles(),
+	}
+	if len(cs.errors) > 0 {
+		es.Errors = make(map[string]int, len(cs.errors))
+		for class, n := range cs.errors {
+			es.Errors[class] = n
+		}
 	}
 	if secs > 0 {
 		es.Throughput = float64(es.Requests) / secs

@@ -21,7 +21,12 @@
 //
 // The search kind alternates keyword and behaves: queries over the
 // annotated catalog; compose asks for workflow synthesis between
-// concept pairs sampled from module signatures at discovery.
+// concept pairs sampled from module signatures at discovery. The
+// generate kind is the write path — POST .../generate?refresh=1,
+// forced re-annotation through the store's group-commit path — and is
+// opt-in via -mix (e.g. -mix "examples=4,generate=2"); the default mix
+// never mutates server state. Failures are reported per kind, broken
+// down by class (timeout, network, status NNN).
 //
 // A -requests budget bounds the run regardless of -duration (whichever
 // ends first), which keeps CI smoke runs cheap and deterministic.

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -176,6 +177,76 @@ func TestRunOpenLoopRespectsBudget(t *testing.T) {
 	}
 	if report.Mode != "open" || report.RatePerSec != 500 {
 		t.Fatalf("report mode/rate = %s/%.0f", report.Mode, report.RatePerSec)
+	}
+}
+
+func TestRunWriteMixReportsGenerate(t *testing.T) {
+	urls := startCluster(t)
+	const budget = 24
+	report, err := Run(Config{
+		Targets:  urls,
+		Mode:     "closed",
+		Users:    4,
+		Duration: 30 * time.Second,
+		Requests: budget,
+		Mix:      map[string]int{"examples": 1, "generate": 2},
+		Seed:     3,
+		Timeout:  10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Overall.Failures != 0 {
+		t.Fatalf("%d failed requests (%v) against a healthy cluster", report.Overall.Failures, report.Overall.Errors)
+	}
+	gen := report.Endpoints["generate"]
+	if gen == nil || gen.Requests == 0 {
+		t.Fatal("write mix recorded no generate requests")
+	}
+	if gen.Latency.P50Ms <= 0 || gen.Latency.MaxMs <= 0 {
+		t.Fatalf("generate latency stats empty: %+v", gen.Latency)
+	}
+	if len(gen.Errors) != 0 {
+		t.Fatalf("healthy generate requests recorded errors: %v", gen.Errors)
+	}
+}
+
+func TestRunBreaksErrorsDownByClass(t *testing.T) {
+	// The first catalog answer seeds discovery; everything after 503s, so
+	// every counted request should land in the "status 503" bucket.
+	var served atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/api/catalog" && served.Add(1) == 1 {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"modules":[{"id":"alpha","examples":2}]}`))
+			return
+		}
+		http.Error(w, "boom", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	const budget = 10
+	report, err := Run(Config{
+		Targets:  []string{ts.URL},
+		Mode:     "closed",
+		Users:    2,
+		Duration: 10 * time.Second,
+		Requests: budget,
+		Mix:      map[string]int{"examples": 1},
+		Seed:     5,
+		Timeout:  2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Overall.Failures != budget {
+		t.Fatalf("failures = %d, want %d", report.Overall.Failures, budget)
+	}
+	es := report.Endpoints["examples"]
+	if es == nil || es.Errors["status 503"] != budget {
+		t.Fatalf("examples error breakdown = %+v", es)
+	}
+	if report.Overall.Errors["status 503"] != budget {
+		t.Fatalf("overall error breakdown = %v", report.Overall.Errors)
 	}
 }
 

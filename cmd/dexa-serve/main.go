@@ -103,6 +103,7 @@ func main() {
 	clusterSelf := flag.String("cluster-self", "", "this instance's shard name in -cluster-config (or its instance name with -follow)")
 	follow := flag.String("follow", "", "run as a read-only follower tailing this leader's /wal feed")
 	followWait := flag.Duration("follow-wait", 0, "long-poll window per replication round (0 = the feed's default)")
+	walBatchWindow := flag.Duration("wal-batch-window", 0, "how long a /wal answer that already has records waits to fold in trailing commits (0 = the feed's default, negative disables batching)")
 	lagMax := flag.Uint64("replication-lag-max", 1024, "follower readiness gate: /readyz answers 503 above this many unapplied records (0 disables)")
 	flag.Parse()
 	if *version {
@@ -282,6 +283,7 @@ func main() {
 			os.Exit(1)
 		}
 		feed = cluster.NewFeed(st, node.Metrics)
+		feed.BatchWindow = *walBatchWindow
 		node.Feed = feed
 		api.Cluster = node
 		go node.Checker.Run(ctx)

@@ -2,11 +2,13 @@ package cluster
 
 import (
 	"bytes"
+	"compress/flate"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -29,6 +31,18 @@ import (
 //	                              window or diverged past the head)
 //	204 (same headers, no body) — nothing new within the wait window
 //
+// Batching: once an answer has records, the feed holds it open for a
+// short window (BatchWindow) and folds records committed right behind
+// them into the same response, up to the limit — so a write burst
+// costs one round trip, not one per long-poll wakeup.
+//
+// Compression: a follower that sends "Accept-Encoding: deflate" gets
+// the whole frame stream flate-compressed (Content-Encoding: deflate).
+// Each frame's CRC is computed over the UNCOMPRESSED payload — the
+// disk-WAL rule — so integrity verification is end-to-end: the
+// follower inflates, then checks the same checksums crash recovery
+// checks, and a corrupt compressed stream fails either inflate or CRC.
+//
 // A feed being drained (SIGTERM) answers new and parked waiters with an
 // immediate 204 instead of holding them for the wait window, so graceful
 // shutdown is bounded by in-flight transfer time, not poll timeouts.
@@ -43,10 +57,27 @@ const maxFeedWait = 30 * time.Second
 // defaultFeedWait is the long-poll window when ?wait= is absent.
 const defaultFeedWait = 25 * time.Second
 
+// DefaultBatchWindow is how long an answer that already has records
+// stays open for more, when Feed.BatchWindow is zero. Small enough to
+// be invisible in replication lag, large enough to absorb a group
+// commit's worth of writes into one response.
+const DefaultBatchWindow = 3 * time.Millisecond
+
+// feedFlushEvery pushes partial output to the client every this many
+// frames, so a follower decoding a long reset stream overlaps its
+// decode with the leader's writes instead of waiting for the last
+// byte.
+const feedFlushEvery = 256
+
 // Feed serves a store's replication stream over HTTP.
 type Feed struct {
 	Store   *store.Store
 	Metrics *Metrics
+
+	// BatchWindow is how long an answer that already carries records
+	// waits for more before closing (0 selects DefaultBatchWindow,
+	// negative disables batching).
+	BatchWindow time.Duration
 
 	drainOnce sync.Once
 	drain     chan struct{}
@@ -125,6 +156,39 @@ func (f *Feed) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Batch window: the answer has records — hold it open briefly so a
+	// burst of commits rides one response instead of one per wakeup.
+	window := f.BatchWindow
+	if window == 0 {
+		window = DefaultBatchWindow
+	}
+	if window > 0 && !reset && len(recs) > 0 && len(recs) < limit {
+		timer := time.NewTimer(window)
+	accumulate:
+		for len(recs) < limit {
+			select {
+			case <-f.Store.ReplicationChanged(next):
+				more, n2, r2 := f.Store.TailSince(next, limit-len(recs))
+				if r2 || len(more) == 0 {
+					// The window moved under us (or a spurious wake):
+					// answer with what we have; the follower's next
+					// round sorts it out.
+					break accumulate
+				}
+				recs = append(recs, more...)
+				next = n2
+			case <-timer.C:
+				break accumulate
+			case <-r.Context().Done():
+				timer.Stop()
+				return
+			case <-f.drainCh():
+				break accumulate
+			}
+		}
+		timer.Stop()
+	}
+
 	w.Header().Set("X-Dexa-Wal-Next", strconv.FormatUint(next, 10))
 	w.Header().Set("X-Dexa-Leader-Seq", strconv.FormatUint(f.Store.Seq(), 10))
 	if reset {
@@ -138,19 +202,84 @@ func (f *Feed) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
+	compress := acceptsDeflate(r.Header.Get("Accept-Encoding"))
+	var cw *countingWriter
+	var fw *flate.Writer
+	var dst io.Writer = w
+	if compress {
+		w.Header().Set("Content-Encoding", "deflate")
+		w.Header().Set("Vary", "Accept-Encoding")
+		cw = &countingWriter{w: w}
+		// BestSpeed: replication is throughput-bound, and WAL frames
+		// (JSON with long repeated keys) compress well even at level 1.
+		fw, _ = flate.NewWriter(cw, flate.BestSpeed)
+		dst = fw
+	}
 	w.WriteHeader(http.StatusOK)
-	for _, rec := range recs {
+	flusher, _ := w.(http.Flusher)
+	var rawBytes int64
+	for i, rec := range recs {
 		payload, err := json.Marshal(rec)
 		if err != nil {
 			return // headers are gone; the follower's CRC check catches the cut
 		}
-		if _, err := w.Write(store.EncodeFrame(payload)); err != nil {
+		frame := store.EncodeFrame(payload)
+		if _, err := dst.Write(frame); err != nil {
+			return
+		}
+		rawBytes += int64(len(frame))
+		if (i+1)%feedFlushEvery == 0 {
+			if fw != nil {
+				if err := fw.Flush(); err != nil {
+					return
+				}
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+	if fw != nil {
+		if err := fw.Close(); err != nil {
 			return
 		}
 	}
 	if f.Metrics != nil {
 		f.Metrics.FeedRecords.Add(uint64(len(recs)))
+		f.Metrics.WalBatchFrames.Observe(float64(len(recs)))
+		f.Metrics.WalUncompressedBytes.Add(uint64(rawBytes))
+		if cw != nil {
+			f.Metrics.WalCompressedBytes.Add(uint64(cw.n))
+		}
 	}
+}
+
+// acceptsDeflate reports whether an Accept-Encoding header offers
+// deflate (possibly with a quality parameter).
+func acceptsDeflate(header string) bool {
+	for _, part := range strings.Split(header, ",") {
+		enc := strings.TrimSpace(part)
+		if i := strings.IndexByte(enc, ';'); i >= 0 {
+			enc = strings.TrimSpace(enc[:i])
+		}
+		if strings.EqualFold(enc, "deflate") {
+			return true
+		}
+	}
+	return false
+}
+
+// countingWriter counts bytes written through it (the on-the-wire size
+// of a compressed feed body).
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func parseUintParam(r *http.Request, name string) (uint64, error) {
@@ -170,7 +299,15 @@ func parseUintParam(r *http.Request, name string) (uint64, error) {
 // store.ErrTornFrame — the caller retries from its last applied
 // sequence, which is exactly the no-gap resume the store enforces.
 func DecodeFrames(body []byte) ([]store.Record, error) {
-	fr := store.NewFrameReader(bytes.NewReader(body))
+	return DecodeFrameStream(bytes.NewReader(body))
+}
+
+// DecodeFrameStream decodes records straight off a frame stream — the
+// follower's path: it never buffers the raw body, so a long reset
+// stream is decoded as it arrives and the transfer's memory cost is
+// one frame plus the decoded records.
+func DecodeFrameStream(r io.Reader) ([]store.Record, error) {
+	fr := store.NewFrameReader(r)
 	var recs []store.Record
 	for {
 		payload, err := fr.Next()

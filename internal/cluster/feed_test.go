@@ -1,7 +1,10 @@
 package cluster
 
 import (
+	"bytes"
+	"compress/flate"
 	"context"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -84,7 +87,7 @@ func TestFeedFollowerReplicates(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := f.tailOnce(context.Background(), f.Client); err != nil {
+	if err := f.TailOnce(context.Background(), f.Client); err != nil {
 		t.Fatal(err)
 	}
 	assertMirrored(t, leader, followerStore)
@@ -99,14 +102,14 @@ func TestFeedFollowerReplicates(t *testing.T) {
 	if err := leader.Delete("b"); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.tailOnce(context.Background(), f.Client); err != nil {
+	if err := f.TailOnce(context.Background(), f.Client); err != nil {
 		t.Fatal(err)
 	}
 	assertMirrored(t, leader, followerStore)
 
 	// At the head, a round answers 204 and applies nothing.
 	before := f.Status().Applied
-	if err := f.tailOnce(context.Background(), f.Client); err != nil {
+	if err := f.TailOnce(context.Background(), f.Client); err != nil {
 		t.Fatal(err)
 	}
 	if f.Status().Applied != before {
@@ -121,7 +124,7 @@ func TestFeedLongPollWakesOnWrite(t *testing.T) {
 	f.Wait = 5 * time.Second
 
 	done := make(chan error, 1)
-	go func() { done <- f.tailOnce(context.Background(), f.Client) }()
+	go func() { done <- f.TailOnce(context.Background(), f.Client) }()
 	time.Sleep(50 * time.Millisecond) // let the poll park
 	if _, _, err := leader.Put("late", feedSet("late")); err != nil {
 		t.Fatal(err)
@@ -182,47 +185,184 @@ func TestFeedDrainReleasesWaiters(t *testing.T) {
 // drill: a follower dies mid-stream losing its WAL tail, reopens, and
 // must resume from its recovered sequence over the wire — the lost
 // records are re-fetched, nothing already held is re-applied, and no
-// gap is accepted.
+// gap is accepted. Runs in both wire modes: raw per-record frames and
+// the batched, compressed feed (where the five records land in one
+// ApplyReplicatedBatch and the torn tail cuts inside that batch).
 func TestFollowerKilledMidTailResumes(t *testing.T) {
-	leader := openStore(t, "")
-	fdir := t.TempDir()
-	followerStore := openStore(t, fdir)
-	f := feedFixture(t, leader, followerStore)
+	for _, mode := range []struct {
+		name string
+		raw  bool
+	}{{"batched", false}, {"raw", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			leader := openStore(t, "")
+			fdir := t.TempDir()
+			followerStore := openStore(t, fdir)
+			f := feedFixture(t, leader, followerStore)
+			f.NoCompression = mode.raw
+			if mode.raw {
+				f.Limit = 1 // one record per round: the pre-batching wire shape
+			}
 
-	for _, id := range []string{"a", "b", "c", "d", "e"} {
+			for _, id := range []string{"a", "b", "c", "d", "e"} {
+				if _, _, err := leader.Put(id, feedSet(id)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for followerStore.Seq() != leader.Seq() {
+				if err := f.TailOnce(context.Background(), f.Client); err != nil {
+					t.Fatal(err)
+				}
+			}
+			assertMirrored(t, leader, followerStore)
+
+			// Kill: close the store and tear its WAL mid-frame.
+			if err := followerStore.Close(); err != nil {
+				t.Fatal(err)
+			}
+			walPath := filepath.Join(fdir, "wal.log")
+			fi, err := os.Stat(walPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(walPath, fi.Size()-5); err != nil {
+				t.Fatal(err)
+			}
+
+			reopened := openStore(t, fdir)
+			if got := reopened.Seq(); got != 4 {
+				t.Fatalf("recovered follower seq %d, want 4", got)
+			}
+			resumed := &Follower{Leader: f.Leader, Store: reopened, Client: f.Client, Wait: f.Wait, NoCompression: f.NoCompression, Limit: f.Limit}
+			if err := resumed.TailOnce(context.Background(), resumed.Client); err != nil {
+				t.Fatal(err)
+			}
+			assertMirrored(t, leader, reopened)
+			if st := resumed.Status(); st.Applied != 1 || st.Resets != 0 {
+				t.Fatalf("resume applied %d records with %d resets, want exactly the lost record and no reset", st.Applied, st.Resets)
+			}
+		})
+	}
+}
+
+// TestFeedCompressionNegotiation: a follower offering deflate gets a
+// compressed body whose inflated frames carry the same CRC-verified
+// records as the raw wire; a client that does not offer it gets plain
+// frames and no Content-Encoding.
+func TestFeedCompressionNegotiation(t *testing.T) {
+	leader := openStore(t, "")
+	for _, id := range []string{"a", "b", "c", "d"} {
 		if _, _, err := leader.Put(id, feedSet(id)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := f.tailOnce(context.Background(), f.Client); err != nil {
-		t.Fatal(err)
-	}
-	assertMirrored(t, leader, followerStore)
+	srv := httptest.NewServer(NewFeed(leader, nil))
+	defer srv.Close()
 
-	// Kill: close the store and tear its WAL mid-frame.
-	if err := followerStore.Close(); err != nil {
-		t.Fatal(err)
+	get := func(acceptDeflate bool) (*http.Response, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, srv.URL+"?from=0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acceptDeflate {
+			req.Header.Set("Accept-Encoding", "deflate")
+		} else {
+			req.Header.Set("Accept-Encoding", "identity")
+		}
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, body
 	}
-	walPath := filepath.Join(fdir, "wal.log")
-	fi, err := os.Stat(walPath)
+
+	rawResp, rawBody := get(false)
+	if enc := rawResp.Header.Get("Content-Encoding"); enc != "" {
+		t.Fatalf("raw answer has Content-Encoding %q", enc)
+	}
+	rawRecs, err := DecodeFrames(rawBody)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.Truncate(walPath, fi.Size()-5); err != nil {
-		t.Fatal(err)
+	if len(rawRecs) != 4 {
+		t.Fatalf("raw answer carried %d records, want 4", len(rawRecs))
 	}
 
-	reopened := openStore(t, fdir)
-	if got := reopened.Seq(); got != 4 {
-		t.Fatalf("recovered follower seq %d, want 4", got)
+	zResp, zBody := get(true)
+	if enc := zResp.Header.Get("Content-Encoding"); enc != "deflate" {
+		t.Fatalf("negotiated answer has Content-Encoding %q, want deflate", enc)
 	}
-	resumed := &Follower{Leader: f.Leader, Store: reopened, Client: f.Client, Wait: f.Wait}
-	if err := resumed.tailOnce(context.Background(), resumed.Client); err != nil {
+	if len(zBody) >= len(rawBody) {
+		t.Fatalf("compressed body (%d bytes) not smaller than raw (%d bytes)", len(zBody), len(rawBody))
+	}
+	fr := flate.NewReader(bytes.NewReader(zBody))
+	inflated, err := io.ReadAll(fr)
+	if err != nil {
 		t.Fatal(err)
 	}
-	assertMirrored(t, leader, reopened)
-	if st := resumed.Status(); st.Applied != 1 || st.Resets != 0 {
-		t.Fatalf("resume applied %d records with %d resets, want exactly the lost record and no reset", st.Applied, st.Resets)
+	// The CRC-over-uncompressed rule: the inflated stream is byte-for-
+	// byte the raw frame stream, checksums included.
+	if !bytes.Equal(inflated, rawBody) {
+		t.Fatal("inflated frame stream differs from the raw wire")
+	}
+	zRecs, err := DecodeFrames(inflated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zRecs) != len(rawRecs) {
+		t.Fatalf("compressed answer carried %d records, want %d", len(zRecs), len(rawRecs))
+	}
+}
+
+// TestFeedBatchWindowCoalesces: writes committed while an answer is
+// open ride the same response — the feed's batch window turns a burst
+// into one round trip.
+func TestFeedBatchWindowCoalesces(t *testing.T) {
+	leader := openStore(t, "")
+	feed := NewFeed(leader, nil)
+	feed.BatchWindow = 500 * time.Millisecond
+	srv := httptest.NewServer(feed)
+	defer srv.Close()
+
+	type answer struct {
+		recs []store.Record
+		err  error
+	}
+	done := make(chan answer, 1)
+	go func() {
+		resp, err := srv.Client().Get(srv.URL + "?from=0&wait=5s")
+		if err != nil {
+			done <- answer{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		recs, err := DecodeFrameStream(resp.Body)
+		done <- answer{recs: recs, err: err}
+	}()
+
+	// First write wakes the parked poll; the rest land inside its batch
+	// window.
+	for _, id := range []string{"w1", "w2", "w3", "w4"} {
+		if _, _, err := leader.Put(id, feedSet(id)); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	select {
+	case ans := <-done:
+		if ans.err != nil {
+			t.Fatal(ans.err)
+		}
+		if len(ans.recs) != 4 {
+			t.Fatalf("batched answer carried %d records, want all 4", len(ans.recs))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("batched answer never arrived")
 	}
 }
 
@@ -243,7 +383,7 @@ func TestFollowerResetOnDivergence(t *testing.T) {
 	reopened := openStore(t, ldir) // replication window starts at seq 3
 	followerStore := openStore(t, "")
 	f := feedFixture(t, reopened, followerStore)
-	if err := f.tailOnce(context.Background(), f.Client); err != nil {
+	if err := f.TailOnce(context.Background(), f.Client); err != nil {
 		t.Fatal(err)
 	}
 	assertMirrored(t, reopened, followerStore)
@@ -254,7 +394,7 @@ func TestFollowerResetOnDivergence(t *testing.T) {
 	if _, _, err := reopened.Put("d", feedSet("d")); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.tailOnce(context.Background(), f.Client); err != nil {
+	if err := f.TailOnce(context.Background(), f.Client); err != nil {
 		t.Fatal(err)
 	}
 	assertMirrored(t, reopened, followerStore)

@@ -17,6 +17,12 @@ type Metrics struct {
 	LocalSeq       *telemetry.Gauge
 	ReplicationLag *telemetry.Gauge
 
+	// Batched feed: frames per answer and wire cost with/without the
+	// negotiated flate compression.
+	WalBatchFrames       *telemetry.Histogram
+	WalCompressedBytes   *telemetry.Counter
+	WalUncompressedBytes *telemetry.Counter
+
 	// Scatter-gather: per-endpoint fan-outs and per-shard failures.
 	ScatterRequests *telemetry.CounterVec // label: endpoint
 	ShardFailures   *telemetry.CounterVec // label: shard
@@ -45,6 +51,13 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"This follower's applied sequence."),
 		ReplicationLag: reg.Gauge("dexa_cluster_replication_lag",
 			"Records this follower is behind the leader (leader seq - local seq)."),
+		WalBatchFrames: reg.Histogram("dexa_cluster_wal_batch_frames",
+			"Frames per non-empty WAL feed answer.",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}),
+		WalCompressedBytes: reg.Counter("dexa_cluster_wal_compressed_bytes_total",
+			"On-the-wire bytes of deflate-compressed feed bodies."),
+		WalUncompressedBytes: reg.Counter("dexa_cluster_wal_uncompressed_bytes_total",
+			"Frame bytes streamed to followers before compression."),
 		ScatterRequests: reg.CounterVec("dexa_cluster_scatter_requests_total",
 			"Scatter-gather fan-outs by endpoint.", "endpoint"),
 		ShardFailures: reg.CounterVec("dexa_cluster_shard_failures_total",

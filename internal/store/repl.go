@@ -57,18 +57,31 @@ func (r *repl) init(seq uint64) {
 // when full, and wakes every blocked tailer. Callers hold the store's
 // logMu, so pushes arrive in sequence order.
 func (r *repl) push(rec Record) {
+	r.pushBatch([]Record{rec})
+}
+
+// pushBatch appends a whole commit batch to the window and wakes every
+// blocked tailer exactly once — N records from one group commit cost
+// one broadcast, not N. Callers hold the store's logMu, so batches
+// arrive in sequence order.
+func (r *repl) pushBatch(recs []Record) {
+	if len(recs) == 0 {
+		return
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if len(r.recs) >= r.window {
-		drop := r.window / 4
-		if drop < 1 {
-			drop = 1
+	for _, rec := range recs {
+		if len(r.recs) >= r.window {
+			drop := r.window / 4
+			if drop < 1 {
+				drop = 1
+			}
+			r.recs = append(r.recs[:0], r.recs[drop:]...)
+			r.low += uint64(drop)
 		}
-		r.recs = append(r.recs[:0], r.recs[drop:]...)
-		r.low += uint64(drop)
+		r.recs = append(r.recs, rec)
 	}
-	r.recs = append(r.recs, rec)
-	r.head = rec.Seq
+	r.head = recs[len(recs)-1].Seq
 	close(r.notify)
 	r.notify = make(chan struct{})
 }
@@ -152,42 +165,70 @@ func (s *Store) TailSince(cursor uint64, limit int) (recs []Record, next uint64,
 }
 
 // ApplyReplicated applies a contiguous batch of leader records to a
-// follower store: each record is written to the follower's own WAL and
-// folded into the index through the same path replay uses, preserving
-// the leader's sequence numbers, content hashes and versions. Records at
-// or below the local sequence are duplicates (a retried delivery) and
-// are skipped without re-applying; a record that skips ahead of seq+1 is
-// a gap and fails the whole batch before any partial application of it.
+// follower store. It is ApplyReplicatedBatch under its historical name.
 func (s *Store) ApplyReplicated(recs []Record) (applied, skipped int, err error) {
+	return s.ApplyReplicatedBatch(recs)
+}
+
+// ApplyReplicatedBatch applies a contiguous batch of leader records to
+// a follower store batch-natively: every record is validated and
+// appended to the follower's own WAL through the buffered writer, the
+// batch reaches disk in one write (and one fsync under SyncOnPut), and
+// the index updates publish with a single replication wake — the
+// follower's half of group commit. Sequence numbers, content hashes
+// and versions are preserved from the leader. Records at or below the
+// local sequence are duplicates (a retried delivery) and are skipped
+// without re-applying; a record that skips ahead of the expected
+// sequence is a gap that fails the batch at that point — the validated
+// prefix still commits, mirroring the record-at-a-time behaviour.
+func (s *Store) ApplyReplicatedBatch(recs []Record) (applied, skipped int, err error) {
 	s.logMu.Lock()
 	defer s.logMu.Unlock()
 	if s.closed {
 		return 0, 0, fmt.Errorf("store: closed")
 	}
+	toApply := recs[:0:0]
+	next := s.seq
+	var verr error
 	for _, rec := range recs {
-		if rec.Seq <= s.seq {
+		if rec.Seq <= next {
 			skipped++
 			continue
 		}
-		if rec.Seq != s.seq+1 {
-			return applied, skipped, fmt.Errorf("store: replication gap: got seq %d, want %d", rec.Seq, s.seq+1)
+		if rec.Seq != next+1 {
+			verr = fmt.Errorf("store: replication gap: got seq %d, want %d", rec.Seq, next+1)
+			break
 		}
 		if rec.Op != OpPut && rec.Op != OpDelete {
-			return applied, skipped, fmt.Errorf("store: replication record %d has unknown op %q", rec.Seq, rec.Op)
+			verr = fmt.Errorf("store: replication record %d has unknown op %q", rec.Seq, rec.Op)
+			break
 		}
 		if s.wal != nil {
 			if werr := s.wal.append(rec); werr != nil {
-				return applied, skipped, werr
+				verr = werr
+				break
 			}
 			s.met.walAppends.Inc()
-			s.met.walBytes.Set(float64(s.wal.bytes))
-			if s.opts.SyncOnPut {
-				if werr := s.wal.sync(); werr != nil {
-					return applied, skipped, werr
-				}
-				s.met.walSyncs.Inc()
-			}
 		}
+		toApply = append(toApply, rec)
+		next = rec.Seq
+	}
+	if len(toApply) == 0 {
+		return 0, skipped, verr
+	}
+	if s.wal != nil {
+		if ferr := s.wal.flush(); ferr != nil {
+			return 0, skipped, ferr
+		}
+		s.met.walBytes.Set(float64(s.wal.bytes))
+		if s.opts.SyncOnPut {
+			if serr := s.wal.sync(); serr != nil {
+				return 0, skipped, serr
+			}
+			s.met.walSyncs.Inc()
+		}
+	}
+	for _, rec := range toApply {
 		s.apply(rec)
 		s.appends++
 		if rec.Op == OpPut {
@@ -195,8 +236,19 @@ func (s *Store) ApplyReplicated(recs []Record) (applied, skipped int, err error)
 		} else {
 			s.deletes.Add(1)
 		}
-		s.repl.push(rec)
-		applied++
+	}
+	if s.wal != nil {
+		if s.opts.SyncOnPut {
+			s.lastSynced = s.seq
+			s.unsynced = 0
+		} else {
+			s.unsynced += len(toApply)
+		}
+	}
+	s.repl.pushBatch(toApply)
+	applied = len(toApply)
+	if verr != nil {
+		return applied, skipped, verr
 	}
 	if s.opts.CompactEvery > 0 && s.appends >= s.opts.CompactEvery {
 		if cerr := s.snapshotLocked(); cerr != nil {

@@ -55,10 +55,17 @@ type Options struct {
 	// this many WAL appends. 0 disables auto-compaction (Snapshot can
 	// still be called explicitly).
 	CompactEvery int
-	// SyncOnPut fsyncs the WAL after every mutation. Durable but slow;
-	// the default is to sync on Flush/Snapshot/Close and accept losing
-	// unsynced tail records on a hard crash.
+	// SyncOnPut fsyncs the WAL after every commit batch, and mutations
+	// do not return until their batch is on stable storage. Durable but
+	// slower than the default, which syncs on Flush/Snapshot/Close and
+	// accepts losing unsynced tail records on a hard crash. Group commit
+	// amortises the fsync across every caller in the batch.
 	SyncOnPut bool
+	// DisableGroupCommit commits every mutation inline on the caller's
+	// goroutine instead of through the committer — the pre-batching
+	// write path, one fsync per record under SyncOnPut. Kept for
+	// benchmarking the baseline; production callers want the default.
+	DisableGroupCommit bool
 	// Metrics, when set, receives the store's operational metrics:
 	// dexa_store_wal_{appends,syncs}_total, dexa_store_wal_bytes,
 	// dexa_store_compactions_total, dexa_store_snapshot_bytes, and the
@@ -71,20 +78,28 @@ type Options struct {
 // nil-safe no-op when Options.Metrics is nil, so the hot paths record
 // unconditionally.
 type storeMetrics struct {
-	walAppends    *telemetry.Counter
-	walSyncs      *telemetry.Counter
-	walBytes      *telemetry.Gauge
-	compactions   *telemetry.Counter
-	snapshotBytes *telemetry.Gauge
+	walAppends       *telemetry.Counter
+	walSyncs         *telemetry.Counter
+	walBytes         *telemetry.Gauge
+	compactions      *telemetry.Counter
+	snapshotBytes    *telemetry.Gauge
+	commitBatchSize  *telemetry.Histogram
+	groupCommitWaits *telemetry.Counter
 }
+
+// commitBatchBuckets resolve the histogram over the committer's useful
+// range: 1 (no concurrency to amortise) up to maxCommitRequests.
+var commitBatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
 func newStoreMetrics(r *telemetry.Registry) storeMetrics {
 	return storeMetrics{
-		walAppends:    r.Counter("dexa_store_wal_appends_total", "Records appended to the write-ahead log."),
-		walSyncs:      r.Counter("dexa_store_wal_syncs_total", "WAL fsyncs."),
-		walBytes:      r.Gauge("dexa_store_wal_bytes", "Current size of the write-ahead log in bytes."),
-		compactions:   r.Counter("dexa_store_compactions_total", "Snapshot compactions (WAL truncations)."),
-		snapshotBytes: r.Gauge("dexa_store_snapshot_bytes", "Size of the last written snapshot file in bytes."),
+		walAppends:       r.Counter("dexa_store_wal_appends_total", "Records appended to the write-ahead log."),
+		walSyncs:         r.Counter("dexa_store_wal_syncs_total", "WAL fsyncs."),
+		walBytes:         r.Gauge("dexa_store_wal_bytes", "Current size of the write-ahead log in bytes."),
+		compactions:      r.Counter("dexa_store_compactions_total", "Snapshot compactions (WAL truncations)."),
+		snapshotBytes:    r.Gauge("dexa_store_snapshot_bytes", "Size of the last written snapshot file in bytes."),
+		commitBatchSize:  r.Histogram("dexa_store_commit_batch_size", "Mutation records committed per group-commit batch.", commitBatchBuckets),
+		groupCommitWaits: r.Counter("dexa_store_group_commit_waits_total", "Mutations that parked behind another caller's commit and shared its batch."),
 	}
 }
 
@@ -120,13 +135,26 @@ type Store struct {
 	symtab *dataexample.SymbolTable
 
 	// logMu serializes mutations: WAL append, sequence assignment, index
-	// update, snapshot, and compaction all happen under it.
-	logMu   sync.Mutex
-	wal     *walWriter // nil in memory-only mode
-	seq     uint64     // last assigned global sequence
-	snapSeq uint64     // sequence captured by the last snapshot
-	appends int        // WAL records since the last snapshot
-	closed  bool
+	// update, snapshot, and compaction all happen under it. Most writers
+	// never take it directly — they enqueue on the committer (commit.go),
+	// which holds it once per batch.
+	logMu      sync.Mutex
+	wal        *walWriter // nil in memory-only mode
+	seq        uint64     // last assigned global sequence
+	snapSeq    uint64     // sequence captured by the last snapshot
+	appends    int        // WAL records since the last snapshot
+	lastSynced uint64     // highest sequence known durable on disk
+	unsynced   int        // WAL records appended since the last sync
+	closed     bool
+
+	// The group-commit queue (commit.go). commitMu guards the
+	// closed-flag/send pair so Close never closes the channel under a
+	// sender. commitCh is nil when Options.DisableGroupCommit selected
+	// the inline path.
+	commitMu     sync.RWMutex
+	commitCh     chan *commitReq
+	commitDone   chan struct{}
+	commitClosed bool
 
 	recovered int64 // WAL records replayed at Open
 	truncated bool  // Open found and cut a torn WAL tail
@@ -151,6 +179,9 @@ func Open(dir string, opts Options) (*Store, error) {
 	s.registerFuncMetrics(opts.Metrics)
 	if dir == "" {
 		s.repl.init(0)
+		if !opts.DisableGroupCommit {
+			s.startCommitter()
+		}
 		return s, nil
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -205,6 +236,9 @@ func Open(dir string, opts Options) (*Store, error) {
 		}
 	}
 	s.appends = len(recs)
+	// Everything recovered came off stable storage: the durable
+	// baseline for Flush's redundant-sync elision.
+	s.lastSynced = s.seq
 	if s.wal != nil {
 		s.met.walBytes.Set(float64(s.wal.bytes))
 	}
@@ -212,6 +246,9 @@ func Open(dir string, opts Options) (*Store, error) {
 	// cursor predates this process's window resynchronise with a full
 	// state reset rather than a record-by-record delta.
 	s.repl.init(s.seq)
+	if !opts.DisableGroupCommit {
+		s.startCommitter()
+	}
 	return s, nil
 }
 
@@ -291,62 +328,19 @@ func (s *Store) Put(id string, set dataexample.Set) (hash string, changed bool, 
 		s.putNoops.Add(1)
 		return h, false, nil
 	}
-	// Key and intern outside the writer lock: canonicalisation is the
+	// Key and intern on the caller's goroutine: canonicalisation is the
 	// expensive part of a changed Put, and the symbol table is safe for
-	// parallel interning, so concurrent writers overlap here instead of
-	// queueing on logMu.
+	// parallel interning, so concurrent writers overlap here and only
+	// the cheap append/publish work serializes on the committer. The
+	// committer re-checks the no-op against the index (and its own
+	// batch) before assigning a sequence.
 	keyed := set.KeyedInterned(s.symtab)
-
-	s.logMu.Lock()
-	defer s.logMu.Unlock()
-	if s.closed {
-		return "", false, fmt.Errorf("store: closed")
+	var res PutResult
+	op := commitOp{op: OpPut, id: id, hash: h, set: set, keyed: keyed, res: &res}
+	if err := s.submit([]commitOp{op}); err != nil {
+		return "", false, err
 	}
-	// Re-check under the writer lock: another writer may have landed the
-	// same content while we waited.
-	sh.mu.RLock()
-	old, ok = sh.recs[id]
-	unchanged = ok && old.hash == h
-	sh.mu.RUnlock()
-	if unchanged {
-		s.putNoops.Add(1)
-		return h, false, nil
-	}
-
-	seq := s.seq + 1
-	ver := uint64(1)
-	if old != nil {
-		ver = old.version + 1
-	}
-	rec := Record{Seq: seq, Op: OpPut, Module: id, Hash: h, Version: ver, Examples: set}
-	if s.wal != nil {
-		if err := s.wal.append(rec); err != nil {
-			return "", false, err
-		}
-		s.met.walAppends.Inc()
-		s.met.walBytes.Set(float64(s.wal.bytes))
-		if s.opts.SyncOnPut {
-			if err := s.wal.sync(); err != nil {
-				return "", false, err
-			}
-			s.met.walSyncs.Inc()
-		}
-	}
-	s.seq = seq
-	s.appends++
-
-	sh.mu.Lock()
-	sh.recs[id] = &record{set: set, keyed: keyed, hash: h, version: ver, seq: seq}
-	sh.mu.Unlock()
-	s.puts.Add(1)
-	s.repl.push(rec)
-
-	if s.opts.CompactEvery > 0 && s.appends >= s.opts.CompactEvery {
-		if err := s.snapshotLocked(); err != nil {
-			return h, true, err
-		}
-	}
-	return h, true, nil
+	return res.Hash, res.Changed, res.Err
 }
 
 // Delete removes a module's stored examples (a tombstone is logged so
@@ -359,34 +353,11 @@ func (s *Store) Delete(id string) error {
 	if !ok {
 		return nil
 	}
-	s.logMu.Lock()
-	defer s.logMu.Unlock()
-	if s.closed {
-		return fmt.Errorf("store: closed")
+	var res PutResult
+	if err := s.submit([]commitOp{{op: OpDelete, id: id, res: &res}}); err != nil {
+		return err
 	}
-	seq := s.seq + 1
-	rec := Record{Seq: seq, Op: OpDelete, Module: id}
-	if s.wal != nil {
-		if err := s.wal.append(rec); err != nil {
-			return err
-		}
-		s.met.walAppends.Inc()
-		s.met.walBytes.Set(float64(s.wal.bytes))
-		if s.opts.SyncOnPut {
-			if err := s.wal.sync(); err != nil {
-				return err
-			}
-			s.met.walSyncs.Inc()
-		}
-	}
-	s.seq = seq
-	s.appends++
-	sh.mu.Lock()
-	delete(sh.recs, id)
-	sh.mu.Unlock()
-	s.deletes.Add(1)
-	s.repl.push(rec)
-	return nil
+	return res.Err
 }
 
 // Get returns the stored example set and its content hash. The returned
@@ -493,6 +464,11 @@ type Stats struct {
 	SnapshotSeq uint64 `json:"snapshotSeq"`
 	WALRecords  int64  `json:"walRecords"`
 	WALBytes    int64  `json:"walBytes"`
+	// LastSyncedSeq is the highest sequence known to be on stable
+	// storage; UnsyncedRecords is the length of the WAL tail that a
+	// hard crash would lose (always 0 under SyncOnPut).
+	LastSyncedSeq   uint64 `json:"lastSyncedSeq"`
+	UnsyncedRecords int    `json:"unsyncedRecords"`
 
 	Recovered     int64 `json:"recovered"`
 	TailTruncated bool  `json:"tailTruncated"`
@@ -534,23 +510,33 @@ func (s *Store) Stats() Stats {
 	if s.wal != nil {
 		st.WALRecords = s.wal.records
 		st.WALBytes = s.wal.bytes
+		st.LastSyncedSeq = s.lastSynced
+		st.UnsyncedRecords = s.unsynced
 	}
 	s.logMu.Unlock()
 	return st
 }
 
 // Flush forces the WAL to stable storage. Examples written before a
-// Flush survive any crash; unsynced tail records may not.
+// Flush survive any crash; unsynced tail records may not. When the
+// tail is already durable — every record reached disk through a
+// SyncOnPut batch or an earlier Flush — the redundant fsync (and its
+// dexa_store_wal_syncs_total increment) is skipped.
 func (s *Store) Flush() error {
 	s.logMu.Lock()
 	defer s.logMu.Unlock()
 	if s.closed || s.wal == nil {
 		return nil
 	}
+	if s.unsynced == 0 {
+		return nil
+	}
 	if err := s.wal.sync(); err != nil {
 		return err
 	}
 	s.met.walSyncs.Inc()
+	s.lastSynced = s.seq
+	s.unsynced = 0
 	return nil
 }
 
@@ -592,6 +578,10 @@ func (s *Store) snapshotLocked() error {
 	if err := s.wal.reset(); err != nil {
 		return err
 	}
+	// reset synced the truncated log, and the snapshot holds everything
+	// else: the whole state is durable.
+	s.lastSynced = s.seq
+	s.unsynced = 0
 	s.met.compactions.Inc()
 	s.met.walBytes.Set(float64(s.wal.bytes))
 	if fi, err := os.Stat(snapPath); err == nil {
@@ -600,9 +590,22 @@ func (s *Store) snapshotLocked() error {
 	return nil
 }
 
-// Close flushes the WAL and releases the store. Further mutations fail;
-// reads keep working against the in-memory index.
+// Close drains the committer, flushes the WAL and releases the store.
+// Mutations already enqueued commit before the store closes; further
+// mutations fail. Reads keep working against the in-memory index.
 func (s *Store) Close() error {
+	// Stop accepting new commit requests, then wait for the committer
+	// to finish everything already queued. commitMu orders this against
+	// in-flight submits so the channel never closes under a sender.
+	s.commitMu.Lock()
+	wasClosed := s.commitClosed
+	s.commitClosed = true
+	s.commitMu.Unlock()
+	if !wasClosed && s.commitCh != nil {
+		close(s.commitCh)
+		<-s.commitDone
+	}
+
 	s.logMu.Lock()
 	defer s.logMu.Unlock()
 	if s.closed {
